@@ -1,0 +1,78 @@
+// Command adultgen emits the calibrated synthetic Adult-income data set
+// (see internal/adult and DESIGN.md §4) as a CSV in the repository's
+// standard layout, with the income label appended as a trailing column for
+// downstream-classifier experiments.
+//
+// Usage:
+//
+//	adultgen -n 45222 -seed 1 -out adult_synth.csv [-income]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"otfair/internal/adult"
+	"otfair/internal/rng"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 45222, "number of records (paper: nR+nA = 45222)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		outPath    = flag.String("out", "", "output CSV path (default stdout)")
+		withIncome = flag.Bool("income", false, "append the >50K income label as a final column")
+	)
+	flag.Parse()
+
+	tbl, income, err := adult.Synthesize(rng.New(*seed), *n)
+	if err != nil {
+		fatal(err)
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if !*withIncome {
+		if err := tbl.WriteCSV(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	cw := csv.NewWriter(out)
+	header := append([]string{"s", "u"}, tbl.Names()...)
+	header = append(header, "income")
+	if err := cw.Write(header); err != nil {
+		fatal(err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < tbl.Len(); i++ {
+		rec := tbl.At(i)
+		row[0] = strconv.Itoa(rec.S)
+		row[1] = strconv.Itoa(rec.U)
+		for k, v := range rec.X {
+			row[2+k] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[len(row)-1] = strconv.Itoa(income[i])
+		if err := cw.Write(row); err != nil {
+			fatal(err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adultgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"otfair"
+	"otfair/internal/blind"
+)
+
+// runBlindRepair applies a saved plan to an archive whose s column is
+// missing or untrusted, using one of the label-free strategies of
+// internal/blind. The research CSV the plan was designed from is required
+// to fit the posterior (hard/draw/mix) or the pooled transport.
+func runBlindRepair(args []string) error {
+	fs := flag.NewFlagSet("blindrepair", flag.ExitOnError)
+	var (
+		planPath     = fs.String("plan", "", "plan JSON from `fairrepair design` (required)")
+		researchPath = fs.String("research", "", "labelled research CSV the plan was designed from (required)")
+		inPath       = fs.String("in", "", "archival CSV to repair; s may be empty/'?' (required)")
+		outPath      = fs.String("out", "", "output CSV (required)")
+		methodName   = fs.String("method", "hard", "label-free strategy: hard, draw, mix, pooled")
+		seed         = fs.Uint64("seed", 1, "randomisation seed")
+	)
+	fs.Parse(args)
+	if *planPath == "" || *researchPath == "" || *inPath == "" || *outPath == "" {
+		return fmt.Errorf("blindrepair requires -plan, -research, -in and -out")
+	}
+	method, err := blind.ParseMethod(*methodName)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(*planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := otfair.ReadPlan(pf)
+	pf.Close()
+	if err != nil {
+		return err
+	}
+	rf, err := os.Open(*researchPath)
+	if err != nil {
+		return err
+	}
+	research, err := otfair.ReadCSV(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	stream, err := otfair.NewCSVStream(in)
+	if err != nil {
+		return err
+	}
+	rep, err := otfair.NewBlindRepairer(plan, research, otfair.NewRNG(*seed), otfair.BlindOptions{Method: method})
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	cw := csv.NewWriter(out)
+	if err := cw.Write(append([]string{"s", "u"}, plan.Names...)); err != nil {
+		return err
+	}
+	row := make([]string, 2+plan.Dim)
+	n, err := rep.RepairStream(stream, func(r otfair.Record) error {
+		if r.S == otfair.SUnknown {
+			row[0] = "?"
+		} else {
+			row[0] = strconv.Itoa(r.S)
+		}
+		row[1] = strconv.Itoa(r.U)
+		for k, v := range r.X {
+			row[2+k] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		return cw.Write(row)
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	st := rep.Stats()
+	fmt.Printf("blind-repaired %d records (method %s; %d imputed, mean confidence %.3f, %d observed labels trusted) -> %s\n",
+		n, method, st.Imputed, st.MeanConfidence(), st.LabelsUsed, *outPath)
+	return nil
+}
+
+// runMonitor streams a labelled archival CSV against a saved plan and
+// reports every drift alarm — the stationarity guard as a CLI.
+func runMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	var (
+		planPath = fs.String("plan", "", "plan JSON from `fairrepair design` (required)")
+		inPath   = fs.String("in", "", "labelled archival CSV to screen (required)")
+		window   = fs.Int("window", 256, "rolling window per (u,s,feature) cell")
+		alpha    = fs.Float64("alpha", 0.001, "KS test level")
+		psiWarn  = fs.Float64("psi", 0.25, "PSI alarm threshold")
+		dither   = fs.Bool("dither", false, "bandwidth-dither incoming values (required for integer/atomic features)")
+	)
+	fs.Parse(args)
+	if *planPath == "" || *inPath == "" {
+		return fmt.Errorf("monitor requires -plan and -in")
+	}
+	pf, err := os.Open(*planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := otfair.ReadPlan(pf)
+	pf.Close()
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	stream, err := otfair.NewCSVStream(in)
+	if err != nil {
+		return err
+	}
+	m, err := otfair.NewMonitor(plan, otfair.MonitorOptions{
+		Window: *window, Alpha: *alpha, PSIWarn: *psiWarn, Dither: *dither,
+	})
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := stream.Next()
+		if err != nil {
+			break // io.EOF ends the stream
+		}
+		alarms, err := m.Observe(rec)
+		if err != nil {
+			return err
+		}
+		for _, a := range alarms {
+			fmt.Println(a)
+		}
+	}
+	fmt.Printf("screened %d records: %d drift alarms\n", m.Seen(), m.Fired())
+	if m.Fired() > 0 {
+		fmt.Println("the plan looks stale for the flagged cells; re-survey research data and redesign")
+	}
+	return nil
+}

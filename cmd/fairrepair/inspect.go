@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"otfair"
+)
+
+// runInspect implements `fairrepair inspect`: print a designed plan's
+// structure — supports, bandwidths, transport costs, group sizes — for
+// operational review before deployment.
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	planPath := fs.String("plan", "", "plan JSON (required)")
+	fs.Parse(args)
+	if *planPath == "" {
+		return fmt.Errorf("inspect requires -plan")
+	}
+	f, err := os.Open(*planPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	plan, err := otfair.ReadPlan(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan: %d features %v\n", plan.Dim, plan.Names)
+	fmt.Printf("options: nQ=%d t=%.3g amount=%.3g kernel=%s bandwidth=%s solver=%s barycenter=%s\n",
+		plan.Opts.NQ, plan.Opts.T, plan.Opts.Amount,
+		plan.Opts.Kernel, plan.Opts.Bandwidth, plan.Opts.Solver, plan.Opts.Barycenter)
+	fmt.Printf("research group sizes:")
+	for g, n := range plan.GroupSizes {
+		fmt.Printf(" %v=%d", g, n)
+	}
+	fmt.Println()
+	for u := 0; u < 2; u++ {
+		for k := 0; k < plan.Dim; k++ {
+			cell := plan.Cell(u, k)
+			name := fmt.Sprintf("x%d", k+1)
+			if k < len(plan.Names) {
+				name = plan.Names[k]
+			}
+			if cell.Degenerate {
+				fmt.Printf("  u=%d %-16s degenerate support at %v\n", u, name, cell.Q[0])
+				continue
+			}
+			fmt.Printf("  u=%d %-16s support [%.4g, %.4g] ×%d  h=(%.4g, %.4g)  plan atoms=(%d, %d)  W2² work=%.4g\n",
+				u, name,
+				cell.Q[0], cell.Q[len(cell.Q)-1], len(cell.Q),
+				cell.H[0], cell.H[1],
+				cell.Plans[0].NNZ(), cell.Plans[1].NNZ(),
+				plan.TransportCost(u, k))
+		}
+	}
+	return nil
+}

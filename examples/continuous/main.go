@@ -1,0 +1,106 @@
+// Continuous: repair with a continuous unprotected attribute u ∈ R — the
+// generalization Section VI of the paper singles out. The scenario makes
+// the conditioning genuinely continuous: candidates' scores depend on
+// years of experience (u), and the gender gap shrinks with experience, so
+// no single global repair is right everywhere.
+//
+// The example compares three designs on the same archive:
+//
+//   - B = 1 bin: ignore experience entirely (this also erases the
+//     *structural* experience–score relationship the paper says is not
+//     ours to repair);
+//   - B = 4 hard quantile bins;
+//   - B = 4 bins with stochastic blending across bin edges (Eq. 14's
+//     randomization applied to the u axis).
+//
+// Residual dependence is evaluated at a finer conditioning (8 bins) than
+// any design used, so conditioning bias is visible.
+//
+//	go run ./examples/continuous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"otfair"
+)
+
+// population draws records with u ~ U(0, 30) years of experience and a
+// score pair whose gender gap Δ(u) = 2·(1 − u/30) closes with seniority.
+func population(r *otfair.RNG, n int) []otfair.ContinuousRecord {
+	recs := make([]otfair.ContinuousRecord, n)
+	for i := range recs {
+		u := 30 * r.Float64()
+		base := u / 10 // structural: scores grow with experience
+		s := 0
+		shift := 0.0
+		if r.Bernoulli(0.5) {
+			s = 1
+			shift = 2 * (1 - u/30) // model unfairness: gap closes with u
+		}
+		recs[i] = otfair.ContinuousRecord{
+			X: []float64{r.Normal(base+shift, 1), r.Normal(base+shift, 1)},
+			S: s,
+			U: u,
+		}
+	}
+	return recs
+}
+
+func main() {
+	r := otfair.NewRNG(2026)
+	research := population(r, 1500)
+	archive := population(r, 6000)
+
+	// A fixed fine evaluation conditioning, shared by all designs.
+	evalEdges := []float64{-1e308, 3.75, 7.5, 11.25, 15, 18.75, 22.5, 26.25, 1e308}
+	cfg := otfair.MetricConfig{Estimator: otfair.MetricKDE}
+	before, err := otfair.EBinned(archive, evalEdges, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unrepaired archive: E = %.4f (8-bin conditioning on experience)\n\n", before)
+
+	type design struct {
+		label string
+		opts  otfair.ContinuousOptions
+	}
+	for _, d := range []design{
+		{"B=1 (ignore experience)", otfair.ContinuousOptions{Bins: 1}},
+		{"B=4 hard bins", otfair.ContinuousOptions{Bins: 4}},
+		{"B=4 blended bins", otfair.ContinuousOptions{Bins: 4, Blend: true}},
+	} {
+		plan, err := otfair.DesignContinuous(research, 2, d.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rp, err := otfair.NewContinuousRepairer(plan, otfair.NewRNG(7), otfair.RepairOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		repaired, err := rp.RepairAll(archive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		after, err := otfair.EBinned(repaired, evalEdges, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Structural damage: how far the experience–score trend moved.
+		var trendBefore, trendAfter float64
+		for i := range archive {
+			trendBefore += archive[i].X[0] * (archive[i].U - 15)
+			trendAfter += repaired[i].X[0] * (repaired[i].U - 15)
+		}
+		fmt.Printf("%-26s E = %.4f (%4.1fx reduction)   experience–score trend kept: %.0f%%   blended draws: %d\n",
+			d.label, after, before/after, 100*trendAfter/trendBefore, rp.Blended())
+	}
+
+	fmt.Println("\nReading the numbers: one global plan (B=1) under-repairs juniors and")
+	fmt.Println("over-repairs seniors, leaving ~5x the residual dependence of the")
+	fmt.Println("binned designs and nibbling at the legitimate experience-score trend.")
+	fmt.Println("Quantile bins keep the conditioning local and the structural trend")
+	fmt.Println("intact; blending removes the bin-edge discontinuities at no extra")
+	fmt.Println("design cost.")
+}

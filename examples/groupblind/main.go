@@ -1,0 +1,116 @@
+// Groupblind: repair an archive whose protected attribute was never
+// recorded — the situation the paper's Section VI names as its priority
+// future work. A plan is designed on the small labelled research set, the
+// archive's s labels are discarded, and each label-free strategy of the
+// blind API is compared against the labelled oracle repair:
+//
+//   - hard:   impute the MAP label from a QDA posterior, repair as labelled
+//   - draw:   draw the label from the posterior once per record
+//   - mix:    redraw the label per feature (full posterior mixture)
+//   - pooled: transport the pooled u-marginal with one group-blind map
+//
+// The E metric is evaluated against the generator's true labels, so the
+// printout shows exactly how much fairness each strategy buys without ever
+// reading s at deployment time.
+//
+//	go run ./examples/groupblind
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"otfair"
+	"otfair/internal/rng"
+	"otfair/internal/simulate"
+)
+
+func main() {
+	// 1. Simulate the paper's population and split it: a small labelled
+	// research set, a large archive whose labels we will throw away.
+	sampler, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rng.New(2024)
+	research, archive, err := sampler.ResearchArchive(r, 500, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unlabelled := archive.DropS()
+
+	// 2. Design the labelled plan (Algorithm 1) on the research data.
+	plan, err := otfair.Design(research, otfair.DesignOptions{NQ: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	metric := otfair.MetricConfig{Estimator: otfair.MetricKDE}
+	eBefore, err := otfair.E(archive, metric)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unrepaired archive:      E = %.4f\n", eBefore)
+
+	// 3. Oracle: what the labelled repair would achieve.
+	oracle, err := otfair.NewRepairer(plan, otfair.NewRNG(1), otfair.RepairOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labelledOut, err := oracle.RepairTable(archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eOracle, err := otfair.E(labelledOut, metric)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labelled repair (oracle): E = %.4f\n\n", eOracle)
+
+	// 4. The QDA soft-labeller the posterior strategies use, scored against
+	// the held-back truth.
+	qda, err := otfair.NewQDA(research)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := qda.Accuracy(archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QDA label accuracy on archive: %.3f (groups overlap ~1σ)\n\n", acc)
+
+	// 5. Every blind strategy, on the label-free archive.
+	for _, method := range []otfair.BlindMethod{
+		otfair.BlindHard, otfair.BlindDraw, otfair.BlindMix, otfair.BlindPooled,
+	} {
+		rp, err := otfair.NewBlindRepairer(plan, research, otfair.NewRNG(7), otfair.BlindOptions{Method: method})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := rp.RepairTable(unlabelled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Reattach the generator's truth so E can condition on s.
+		withTruth := out.Clone()
+		for i := range withTruth.Records() {
+			withTruth.Records()[i].S = archive.At(i).S
+		}
+		e, err := otfair.E(withTruth, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dmg, err := otfair.Damage(archive, out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := rp.Stats()
+		fmt.Printf("blind %-6s  E = %.4f   damage = %.3f   imputed = %d   mean confidence = %.3f\n",
+			method, e, dmg, stats.Imputed, stats.MeanConfidence())
+	}
+
+	fmt.Println("\nReading the numbers: the posterior strategies recover a large share")
+	fmt.Println("of the oracle's reduction despite never seeing s; the pooled map is")
+	fmt.Println("gentlest on the data but cannot split the mixture, so it mostly buys")
+	fmt.Println("marginal parity rather than conditional independence.")
+}

@@ -1,0 +1,171 @@
+// Monitoring: the operational life of a repair deployment. The paper's
+// pipeline assumes stationarity between the research data the plan was
+// designed on and the archival torrent it repairs (Section IV requirement
+// 2); this example runs the full guard loop around that assumption:
+//
+//  1. decide how much research data is enough (the Section VI stopping
+//     rule),
+//
+//  2. design the plan and deploy it with a drift monitor attached,
+//
+//  3. stream a stationary archive — the monitor stays quiet,
+//
+//  4. let the population drift — the monitor localizes the stale cells,
+//
+//  5. redesign on fresh research data and resume with a quiet monitor.
+//
+//     go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"otfair"
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+	"otfair/internal/simulate"
+)
+
+func main() {
+	// --- 1. How much research data is enough? ---------------------------
+	sampler, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rng.New(7)
+	pool, _, err := sampler.ResearchArchive(r, 3000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stop, err := otfair.ResearchStoppingRule(pool, otfair.StoppingOptions{Batch: 100, Tol: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stopping rule: marginals converged after %d research records (converged=%v)\n",
+		stop.NStop, stop.Converged)
+
+	// --- 2. Design on exactly that much data, deploy with a monitor. ----
+	research, err := prefix(pool, stop.NStop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := otfair.Design(research, otfair.DesignOptions{NQ: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repairer, err := otfair.NewRepairer(plan, otfair.NewRNG(1), otfair.RepairOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard, err := otfair.NewMonitor(plan, otfair.MonitorOptions{Window: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 3. A stationary torrent: repair flows, the monitor is silent. --
+	stream := r.Split(2)
+	quiet := 0
+	for i := 0; i < 8000; i++ {
+		rec := sampler.Draw(stream)
+		alarms, err := guard.Observe(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		quiet += len(alarms)
+		if _, err := repairer.RepairRecord(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stationary phase: repaired 8000 records, %d drift alarms\n", quiet)
+
+	// --- 4. The population drifts: the s=1 groups move 1.5σ. ------------
+	ds, err := simulate.NewDriftStream(simulate.Paper(), r.Split(3), simulate.Drift{
+		Group: map[dataset.Group][]float64{
+			{U: 0, S: 1}: {1.5, 1.5},
+			{U: 1, S: 1}: {1.5, 1.5},
+		},
+	}, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var first otfair.DriftAlarm
+	alarmed := 0
+	for {
+		rec, err := ds.Next()
+		if err != nil {
+			break // io.EOF ends the drift phase
+		}
+		alarms, err := guard.Observe(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(alarms) > 0 {
+			if alarmed == 0 {
+				first = alarms[0]
+			}
+			alarmed += len(alarms)
+		}
+		if _, err := repairer.RepairRecord(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("drift phase: %d alarms; first after %d records:\n  %v\n", alarmed, first.Seen, first)
+
+	// --- 5. Redesign on fresh research data and resume. -----------------
+	// In production the drifted population is re-surveyed; here we draw a
+	// fresh labelled sample from the fully drifted distribution.
+	fresh := dataset.MustTable(2, nil)
+	driftedSampler := func() otfair.Record {
+		rec := sampler.Draw(r)
+		if rec.S == 1 {
+			rec.X[0] += 1.5
+			rec.X[1] += 1.5
+		}
+		return rec
+	}
+	for i := 0; i < stop.NStop; i++ {
+		if err := fresh.Append(driftedSampler()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	plan2, err := otfair.Design(fresh, otfair.DesignOptions{NQ: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard2, err := otfair.NewMonitor(plan2, otfair.MonitorOptions{Window: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repairer2, err := otfair.NewRepairer(plan2, otfair.NewRNG(5), otfair.RepairOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	post := 0
+	for i := 0; i < 8000; i++ {
+		rec := driftedSampler()
+		alarms, err := guard2.Observe(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		post += len(alarms)
+		if _, err := repairer2.RepairRecord(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after redesign: repaired 8000 drifted records, %d alarms — plan matches the new population\n", post)
+}
+
+// prefix returns the first n records of a table as a new table.
+func prefix(t *otfair.Table, n int) (*otfair.Table, error) {
+	out, err := otfair.NewTable(t.Dim(), t.Names())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n && i < t.Len(); i++ {
+		if err := out.Append(t.At(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package adult
+
+import (
+	"errors"
+	"math"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// Synthesize generates an Adult-like sample calibrated to the published
+// structure that Section V-B's experiment exercises (see DESIGN.md §4 for
+// the substitution rationale):
+//
+//   - Group proportions: Pr[u=1] ≈ 0.25 (college or above),
+//     Pr[s=male|u] rising with education (≈0.65 non-college, ≈0.72 college),
+//     matching Adult's male share of ≈0.67 overall.
+//   - Age: integer-valued, right-skewed (17 + lognormal), clamped to
+//     [17, 90]; college groups older, males slightly older than females.
+//     Gender separation is modest — the paper measures unrepaired
+//     E_age ≈ 1.1 against E_hours ≈ 2.7.
+//   - Hours/week: integer-valued three-part mixture — a point mass at
+//     exactly 40 (Adult's dominant value), a part-time lobe near 25, and an
+//     over-time lobe near 50 — with women carrying more part-time mass and
+//     men more over-time mass, so hours are the more gender-separated
+//     feature, as in the paper.
+//   - Income: Bernoulli with a logistic model over age, hours, u and a
+//     residual male bias, for downstream disparate-impact experiments.
+//
+// It returns the feature table and the aligned income labels.
+func Synthesize(r *rng.RNG, n int) (*dataset.Table, []int, error) {
+	if n <= 0 {
+		return nil, nil, errors.New("adult: sample size must be positive")
+	}
+	t, err := dataset.NewTable(Dim, FeatureNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	income := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		rec, y := synthesizeOne(r)
+		if err := t.Append(rec); err != nil {
+			return nil, nil, err
+		}
+		income = append(income, y)
+	}
+	return t, income, nil
+}
+
+// groupParams hold the (u,s)-conditional generator settings.
+type groupParams struct {
+	// age = 17 + exp(N(ageMu, ageSigma)), rounded and clamped to [17,90].
+	ageMu, ageSigma float64
+	// hours mixture: exactly 40 w.p. p40; else part-time N(25,7²) w.p.
+	// pPart/(1-p40); else over-time N(50,8²).
+	p40, pPart float64
+}
+
+// params is indexed [u][s].
+var params = [2][2]groupParams{
+	{ // u = 0: non-college
+		{ageMu: 2.90, ageSigma: 0.58, p40: 0.45, pPart: 0.35}, // s = 0: female
+		{ageMu: 3.10, ageSigma: 0.48, p40: 0.45, pPart: 0.15}, // s = 1: male
+	},
+	{ // u = 1: college+
+		{ageMu: 3.15, ageSigma: 0.48, p40: 0.50, pPart: 0.20}, // s = 0
+		{ageMu: 3.35, ageSigma: 0.40, p40: 0.40, pPart: 0.08}, // s = 1
+	},
+}
+
+// prU1 is Pr[college or above].
+const prU1 = 0.25
+
+// prMaleGivenU is Pr[s=1 | u].
+var prMaleGivenU = [2]float64{0.65, 0.72}
+
+func synthesizeOne(r *rng.RNG) (dataset.Record, int) {
+	u := 0
+	if r.Bernoulli(prU1) {
+		u = 1
+	}
+	s := 0
+	if r.Bernoulli(prMaleGivenU[u]) {
+		s = 1
+	}
+	p := params[u][s]
+
+	age := 17 + r.LogNormal(p.ageMu, p.ageSigma)
+	age = math.Round(age)
+	if age < 17 {
+		age = 17
+	}
+	if age > 90 {
+		age = 90
+	}
+
+	var hours float64
+	switch {
+	case r.Bernoulli(p.p40):
+		hours = 40
+	case r.Bernoulli(p.pPart / (1 - p.p40)):
+		hours = math.Round(r.Normal(25, 7))
+		if hours > 39 {
+			hours = 39
+		}
+	default:
+		hours = math.Round(r.Normal(50, 8))
+		if hours < 41 {
+			hours = 41
+		}
+	}
+	if hours < 1 {
+		hours = 1
+	}
+	if hours > 99 {
+		hours = 99
+	}
+
+	// Income model: favours age (experience), hours, education, and carries
+	// a residual male bias — the model unfairness the repair addresses.
+	logit := -6.5 + 0.045*age + 0.05*hours + 1.4*float64(u) + 0.9*float64(s)
+	y := 0
+	if r.Bernoulli(1 / (1 + math.Exp(-logit))) {
+		y = 1
+	}
+	return dataset.Record{X: []float64{age, hours}, S: s, U: u}, y
+}

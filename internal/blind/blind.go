@@ -1,0 +1,327 @@
+// Package blind repairs archival data whose protected attribute s is
+// unobserved — the priority future work named in Section VI of the paper
+// ("a priority of our future work will be to extend our distributional
+// OT-repair methods to s|u-unlabelled X_A", refs [37]–[39]).
+//
+// Algorithm 2 is s-indexed: it picks the plan π*_{u,s,k} by the record's s
+// label. When archives carry no s, four deployment strategies are offered,
+// ordered from most to least label information used:
+//
+//   - MethodHard:   impute the MAP label ŝ = argmax_s Pr[s|x,u] and run the
+//     labelled repair — the paper's own suggestion (Section IV, Eq. 10).
+//   - MethodDraw:   draw ŝ ~ Bernoulli(Pr[s=1|x,u]) once per record. The
+//     repaired population then mixes the two conditional repair kernels with
+//     exactly the posterior weights, removing MethodHard's decision-boundary
+//     bias at the cost of extra randomness.
+//   - MethodMix:    redraw ŝ independently for every feature — the full
+//     posterior mixture of the per-feature repair kernels.
+//   - MethodPooled: ignore s entirely and transport the pooled u-marginal
+//     (Eq. 10's mixture) to the barycentric target — group-blind transport
+//     in the sense of [37]. Needs no posterior model at all.
+//
+// The posterior for the first three methods defaults to a QDA fitted on the
+// labelled research set (supervised, streaming-friendly); any other source —
+// e.g. the unsupervised archive-fitted mixture.LabelEstimator.SPosterior —
+// can be plugged in through Options.Posterior.
+package blind
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// Method selects how the missing s label is handled at repair time.
+type Method int
+
+const (
+	// MethodHard imputes the MAP label and applies the labelled repair.
+	MethodHard Method = iota
+	// MethodDraw draws one label per record from the posterior.
+	MethodDraw
+	// MethodMix draws an independent label per feature from the posterior.
+	MethodMix
+	// MethodPooled applies the single group-blind pooled transport.
+	MethodPooled
+)
+
+// String names the method for flags and reports.
+func (m Method) String() string {
+	switch m {
+	case MethodHard:
+		return "hard"
+	case MethodDraw:
+		return "draw"
+	case MethodMix:
+		return "mix"
+	case MethodPooled:
+		return "pooled"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ParseMethod resolves a method name.
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "hard", "":
+		return MethodHard, nil
+	case "draw":
+		return MethodDraw, nil
+	case "mix":
+		return MethodMix, nil
+	case "pooled", "blind":
+		return MethodPooled, nil
+	default:
+		return 0, fmt.Errorf("blind: unknown method %q", name)
+	}
+}
+
+// PosteriorFunc supplies Pr[s = 1 | x, u] for one record.
+type PosteriorFunc func(dataset.Record) (float64, error)
+
+// Options configures a blind Repairer.
+type Options struct {
+	// Method selects the label-handling strategy (default MethodHard).
+	Method Method
+	// Posterior overrides the posterior source for the hard/draw/mix
+	// methods. Nil means "fit a QDA on the research table".
+	Posterior PosteriorFunc
+	// Repair is passed through to the underlying Algorithm-2 repairer.
+	Repair core.RepairOptions
+}
+
+// Stats accumulates deployment counters beyond core.Diagnostics.
+type Stats struct {
+	// Records is the number of records repaired.
+	Records int64
+	// LabelsUsed counts records whose observed s label was trusted
+	// directly (only records arriving with a label, never for
+	// MethodPooled).
+	LabelsUsed int64
+	// Imputed counts records repaired under an estimated label.
+	Imputed int64
+	// ConfidenceSum accumulates max(γ, 1−γ) over imputed records; divide
+	// by Imputed for the mean posterior confidence.
+	ConfidenceSum float64
+}
+
+// MeanConfidence is the average MAP-posterior confidence over imputed
+// records, zero when nothing was imputed.
+func (s Stats) MeanConfidence() float64 {
+	if s.Imputed == 0 {
+		return 0
+	}
+	return s.ConfidenceSum / float64(s.Imputed)
+}
+
+// Repairer repairs records with unknown s. It is not safe for concurrent
+// use: it owns an RNG stream, like core.Repairer.
+type Repairer struct {
+	method    Method
+	posterior PosteriorFunc
+	inner     *core.Repairer
+	r         *rng.RNG
+	stats     Stats
+	dim       int
+}
+
+// New builds a blind repairer from a designed labelled plan and the research
+// table the plan was designed on. The research table is needed to fit the
+// default QDA posterior (hard/draw/mix) or the pooled marginals
+// (MethodPooled).
+func New(plan *core.Plan, research *dataset.Table, r *rng.RNG, opts Options) (*Repairer, error) {
+	if plan == nil {
+		return nil, errors.New("blind: nil plan")
+	}
+	if r == nil {
+		return nil, errors.New("blind: nil rng")
+	}
+	rp := &Repairer{method: opts.Method, r: r, dim: plan.Dim}
+	switch opts.Method {
+	case MethodHard, MethodDraw, MethodMix:
+		post := opts.Posterior
+		if post == nil {
+			qda, err := NewQDA(research)
+			if err != nil {
+				return nil, err
+			}
+			post = qda.Posterior
+		}
+		rp.posterior = post
+		inner, err := core.NewRepairer(plan, r, opts.Repair)
+		if err != nil {
+			return nil, err
+		}
+		rp.inner = inner
+	case MethodPooled:
+		pooled, err := PooledPlan(plan, research)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := core.NewRepairer(pooled, r, opts.Repair)
+		if err != nil {
+			return nil, err
+		}
+		rp.inner = inner
+	default:
+		return nil, fmt.Errorf("blind: unknown method %v", opts.Method)
+	}
+	return rp, nil
+}
+
+// Stats returns the counters accumulated so far.
+func (rp *Repairer) Stats() Stats { return rp.stats }
+
+// Diagnostics exposes the underlying Algorithm-2 counters.
+func (rp *Repairer) Diagnostics() core.Diagnostics { return rp.inner.Diagnostics() }
+
+// RepairRecord repairs one record whose S may be dataset.SUnknown. The
+// output record keeps the input's S field: the repair never pretends an
+// imputed label is an observation.
+func (rp *Repairer) RepairRecord(rec dataset.Record) (dataset.Record, error) {
+	if rec.U != 0 && rec.U != 1 {
+		return dataset.Record{}, fmt.Errorf("blind: invalid u label %d", rec.U)
+	}
+	if len(rec.X) != rp.dim {
+		return dataset.Record{}, fmt.Errorf("blind: record has %d features, want %d", len(rec.X), rp.dim)
+	}
+	out := dataset.Record{X: make([]float64, len(rec.X)), S: rec.S, U: rec.U}
+	rp.stats.Records++
+
+	if rp.method == MethodPooled {
+		// The pooled plan is identical in both s slots; apply as s = 0.
+		for k, x := range rec.X {
+			v, err := rp.inner.RepairValue(rec.U, 0, k, x)
+			if err != nil {
+				return dataset.Record{}, err
+			}
+			out.X[k] = v
+		}
+		return out, nil
+	}
+
+	// Hard / draw / mix: a record that arrives with an observed label needs
+	// no imputation under any posterior method.
+	if rec.S != dataset.SUnknown {
+		rp.stats.LabelsUsed++
+		for k, x := range rec.X {
+			v, err := rp.inner.RepairValue(rec.U, rec.S, k, x)
+			if err != nil {
+				return dataset.Record{}, err
+			}
+			out.X[k] = v
+		}
+		return out, nil
+	}
+
+	gamma, err := rp.posterior(rec)
+	if err != nil {
+		return dataset.Record{}, fmt.Errorf("blind: posterior: %w", err)
+	}
+	if gamma < 0 || gamma > 1 {
+		return dataset.Record{}, fmt.Errorf("blind: posterior %v outside [0,1]", gamma)
+	}
+	rp.stats.Imputed++
+	if gamma >= 0.5 {
+		rp.stats.ConfidenceSum += gamma
+	} else {
+		rp.stats.ConfidenceSum += 1 - gamma
+	}
+
+	switch rp.method {
+	case MethodHard:
+		s := 0
+		if gamma >= 0.5 {
+			s = 1
+		}
+		for k, x := range rec.X {
+			v, err := rp.inner.RepairValue(rec.U, s, k, x)
+			if err != nil {
+				return dataset.Record{}, err
+			}
+			out.X[k] = v
+		}
+	case MethodDraw:
+		s := 0
+		if rp.r.Bernoulli(gamma) {
+			s = 1
+		}
+		for k, x := range rec.X {
+			v, err := rp.inner.RepairValue(rec.U, s, k, x)
+			if err != nil {
+				return dataset.Record{}, err
+			}
+			out.X[k] = v
+		}
+	case MethodMix:
+		for k, x := range rec.X {
+			s := 0
+			if rp.r.Bernoulli(gamma) {
+				s = 1
+			}
+			v, err := rp.inner.RepairValue(rec.U, s, k, x)
+			if err != nil {
+				return dataset.Record{}, err
+			}
+			out.X[k] = v
+		}
+	}
+	return out, nil
+}
+
+// RepairTable repairs every record of a table in order; records may be
+// unlabelled. Cardinality and the (known) labels are preserved.
+func (rp *Repairer) RepairTable(t *dataset.Table) (*dataset.Table, error) {
+	if t == nil {
+		return nil, errors.New("blind: nil table")
+	}
+	if t.Dim() != rp.dim {
+		return nil, fmt.Errorf("blind: table dimension %d does not match plan %d", t.Dim(), rp.dim)
+	}
+	out, err := dataset.NewTable(t.Dim(), t.Names())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < t.Len(); i++ {
+		rec, err := rp.RepairRecord(t.At(i))
+		if err != nil {
+			return nil, fmt.Errorf("blind: record %d: %w", i, err)
+		}
+		if err := out.Append(rec); err != nil {
+			return nil, fmt.Errorf("blind: record %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// RepairStream consumes a record stream — possibly unlabelled — and emits
+// repaired records to sink with O(1) memory, mirroring
+// core.Repairer.RepairStream for the torrent deployment mode.
+func (rp *Repairer) RepairStream(in dataset.Stream, sink func(dataset.Record) error) (int, error) {
+	if in.Dim() != rp.dim {
+		return 0, fmt.Errorf("blind: stream dimension %d does not match plan %d", in.Dim(), rp.dim)
+	}
+	n := 0
+	for {
+		rec, err := in.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		repaired, err := rp.RepairRecord(rec)
+		if err != nil {
+			return n, fmt.Errorf("blind: stream record %d: %w", n, err)
+		}
+		if err := sink(repaired); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

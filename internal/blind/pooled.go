@@ -1,0 +1,93 @@
+package blind
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/kde"
+	"otfair/internal/ot"
+)
+
+// PooledPlan turns a designed core.Plan into a fully group-blind plan: for
+// every (u, feature) cell it replaces the two s-indexed plans with a single
+// OT plan from the pooled u-conditional mixture marginal
+//
+//	f(x|u) = Σ_s Pr̂[s|u]·f(x|s,u)           (Eq. 10)
+//
+// to the same barycentric target ν the labelled plan transports to. Applying
+// it needs no s label at all — the Zhou–Marecek-style group-blind transport
+// the paper's Section VI points to ([37]). The price is that the two
+// s-conditionals are displaced by a common map, so the repair quenches less
+// of the conditional dependence than a labelled or posterior-weighted one;
+// the blind ablation experiment quantifies the gap.
+//
+// The returned plan shares the supports, barycenters and options of the
+// input; both s slots of every cell hold the identical pooled transport, so
+// core.Repairer machinery applies it unchanged whatever label a record
+// carries.
+func PooledPlan(plan *core.Plan, research *dataset.Table) (*core.Plan, error) {
+	if plan == nil {
+		return nil, errors.New("blind: nil plan")
+	}
+	if research == nil || research.Len() == 0 {
+		return nil, errors.New("blind: empty research table")
+	}
+	if research.Dim() != plan.Dim {
+		return nil, fmt.Errorf("blind: research dimension %d does not match plan %d", research.Dim(), plan.Dim)
+	}
+	out := &core.Plan{
+		Dim:        plan.Dim,
+		Names:      append([]string(nil), plan.Names...),
+		Opts:       plan.Opts,
+		GroupSizes: plan.GroupSizes,
+	}
+	for u := 0; u < 2; u++ {
+		out.Cells[u] = make([]*core.Cell, plan.Dim)
+		for k := 0; k < plan.Dim; k++ {
+			cell, err := pooledCell(plan.Cell(u, k), research, u, k, plan.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("blind: pooling (u=%d, k=%d): %w", u, k, err)
+			}
+			out.Cells[u][k] = cell
+		}
+	}
+	return out, nil
+}
+
+// pooledCell rebuilds one cell around the pooled u-marginal.
+func pooledCell(c *core.Cell, research *dataset.Table, u, k int, opts core.Options) (*core.Cell, error) {
+	if c.Degenerate {
+		return c, nil
+	}
+	pooled := research.UColumn(u, k)
+	est, err := kde.New(pooled, opts.Kernel, opts.Bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("pooled KDE: %w", err)
+	}
+	pmf, err := est.GridPMF(c.Q)
+	if err != nil {
+		return nil, fmt.Errorf("pooled interpolation: %w", err)
+	}
+	mu, err := ot.OnGrid(c.Q, pmf)
+	if err != nil {
+		return nil, err
+	}
+	nu, err := ot.OnGrid(c.Q, c.Bary)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := ot.Monotone(mu, nu)
+	if err != nil {
+		return nil, fmt.Errorf("pooled transport: %w", err)
+	}
+	return &core.Cell{
+		Q:      c.Q,
+		PMF:    [2][]float64{pmf, pmf},
+		Bary:   c.Bary,
+		Target: [2][]float64{c.Bary, c.Bary},
+		Plans:  [2]*ot.Plan{plan, plan},
+		H:      [2]float64{est.Bandwidth(), est.Bandwidth()},
+	}, nil
+}

@@ -1,0 +1,61 @@
+package blind
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+func TestQDAPosteriorInUnitIntervalProperty(t *testing.T) {
+	r := rng.New(41)
+	q, err := NewQDA(gaussianTable(t, r, 800, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x1, x2 float64, uRaw bool) bool {
+		if math.IsNaN(x1) || math.IsNaN(x2) || math.IsInf(x1, 0) || math.IsInf(x2, 0) {
+			return true
+		}
+		u := 0
+		if uRaw {
+			u = 1
+		}
+		p, err := q.Posterior(dataset.Record{X: []float64{x1, x2}, U: u, S: dataset.SUnknown})
+		if err != nil {
+			return false
+		}
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQDAClassifyConsistentWithPosteriorProperty(t *testing.T) {
+	r := rng.New(43)
+	q, err := NewQDA(gaussianTable(t, r, 800, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x1, x2 float64) bool {
+		if math.IsNaN(x1) || math.IsNaN(x2) || math.IsInf(x1, 0) || math.IsInf(x2, 0) {
+			return true
+		}
+		rec := dataset.Record{X: []float64{x1, x2}, U: 0, S: dataset.SUnknown}
+		p, err1 := q.Posterior(rec)
+		c, err2 := q.Classify(rec)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if p >= 0.5 {
+			return c == 1
+		}
+		return c == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package blind
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// gaussianTable builds a labelled research table with two well-separated
+// s-groups per u for QDA fitting.
+func gaussianTable(t *testing.T, r *rng.RNG, n int, sep float64) *dataset.Table {
+	t.Helper()
+	tab := dataset.MustTable(2, []string{"x1", "x2"})
+	for i := 0; i < n; i++ {
+		u := i % 2
+		s := (i / 2) % 2
+		mu := 0.0
+		if s == 1 {
+			mu = sep
+		}
+		rec := dataset.Record{
+			X: []float64{r.Normal(mu, 1), r.Normal(mu, 1)},
+			S: s,
+			U: u,
+		}
+		if err := tab.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestNewGaussianMomentRecovery(t *testing.T) {
+	r := rng.New(7)
+	n := 20000
+	rows := make([][]float64, n)
+	for i := range rows {
+		// Correlated pair: x2 = 0.8·x1 + ε.
+		x1 := r.Normal(2, 1.5)
+		rows[i] = []float64{x1, 0.8*x1 + r.Normal(0, 0.5)}
+	}
+	g, err := newGaussian(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.mean[0]-2) > 0.05 {
+		t.Errorf("mean[0] = %v, want ≈ 2", g.mean[0])
+	}
+	if math.Abs(g.mean[1]-1.6) > 0.05 {
+		t.Errorf("mean[1] = %v, want ≈ 1.6", g.mean[1])
+	}
+	// Var(x1) = 2.25; chol[0][0] = sqrt(2.25) = 1.5.
+	if math.Abs(g.chol[0][0]-1.5) > 0.05 {
+		t.Errorf("chol[0][0] = %v, want ≈ 1.5", g.chol[0][0])
+	}
+}
+
+func TestGaussianLogPDFClosedForm(t *testing.T) {
+	// A spherical fit: logPDF at the mean must equal the analytic
+	// normalizer −(d/2)ln(2π) − ½ln|Σ|.
+	r := rng.New(11)
+	n := 50000
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{r.Norm(), r.Norm()}
+	}
+	g, err := newGaussian(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.logPDF(g.mean)
+	want := -math.Log(2 * math.Pi) // d=2, |Σ|≈1
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("logPDF(mean) = %v, want ≈ %v", got, want)
+	}
+	// One standard deviation out along x1 drops by ≈ ½.
+	x := []float64{g.mean[0] + 1, g.mean[1]}
+	if d := g.logPDF(g.mean) - g.logPDF(x); math.Abs(d-0.5) > 0.05 {
+		t.Errorf("logPDF drop at 1σ = %v, want ≈ 0.5", d)
+	}
+}
+
+func TestNewGaussianDegenerate(t *testing.T) {
+	// A constant sample must still produce a proper (ridge-floored) density.
+	rows := [][]float64{{1, 2}, {1, 2}, {1, 2}}
+	g, err := newGaussian(rows)
+	if err != nil {
+		t.Fatalf("constant sample: %v", err)
+	}
+	if v := g.logPDF([]float64{1, 2}); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("logPDF at support point = %v, want finite", v)
+	}
+}
+
+func TestNewGaussianErrors(t *testing.T) {
+	if _, err := newGaussian(nil); err == nil {
+		t.Error("empty sample: want error")
+	}
+	if _, err := newGaussian([][]float64{{}}); err == nil {
+		t.Error("zero-dimensional sample: want error")
+	}
+	if _, err := newGaussian([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged sample: want error")
+	}
+}
+
+func TestQDAPosteriorSeparatedGroups(t *testing.T) {
+	r := rng.New(3)
+	research := gaussianTable(t, r, 4000, 8)
+	q, err := NewQDA(research)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep inside the s=0 component the posterior for s=1 is ≈ 0; deep
+	// inside s=1 it is ≈ 1.
+	for u := 0; u < 2; u++ {
+		p0, err := q.Posterior(dataset.Record{X: []float64{0, 0}, U: u, S: dataset.SUnknown})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p0 > 0.05 {
+			t.Errorf("u=%d: Pr[s=1 | x at s=0 mode] = %v, want ≈ 0", u, p0)
+		}
+		p1, err := q.Posterior(dataset.Record{X: []float64{8, 8}, U: u, S: dataset.SUnknown})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 < 0.95 {
+			t.Errorf("u=%d: Pr[s=1 | x at s=1 mode] = %v, want ≈ 1", u, p1)
+		}
+	}
+}
+
+func TestQDAPosteriorBalancedMidpoint(t *testing.T) {
+	r := rng.New(5)
+	research := gaussianTable(t, r, 8000, 4)
+	q, err := NewQDA(research)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gaussianTable assigns groups round-robin, so priors are balanced and
+	// the midpoint posterior must be ≈ ½.
+	p, err := q.Posterior(dataset.Record{X: []float64{2, 2}, U: 0, S: dataset.SUnknown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 0.1 {
+		t.Errorf("midpoint posterior = %v, want ≈ 0.5", p)
+	}
+}
+
+func TestQDAClassifyAccuracyHigh(t *testing.T) {
+	r := rng.New(17)
+	research := gaussianTable(t, r, 2000, 6)
+	probe := gaussianTable(t, r, 2000, 6)
+	q, err := NewQDA(research)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := q.Accuracy(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("accuracy = %v on 6σ-separated groups, want ≥ 0.95", acc)
+	}
+}
+
+func TestQDAErrors(t *testing.T) {
+	if _, err := NewQDA(nil); err == nil {
+		t.Error("nil table: want error")
+	}
+	empty := dataset.MustTable(1, nil)
+	if _, err := NewQDA(empty); err == nil {
+		t.Error("empty table: want error")
+	}
+	// Missing (u=1, s=1) group.
+	partial := dataset.MustTable(1, nil)
+	for i := 0; i < 10; i++ {
+		_ = partial.Append(dataset.Record{X: []float64{float64(i)}, S: 0, U: 0})
+	}
+	if _, err := NewQDA(partial); err == nil {
+		t.Error("missing groups: want error")
+	}
+
+	r := rng.New(1)
+	q, err := NewQDA(gaussianTable(t, r, 400, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Posterior(dataset.Record{X: []float64{0, 0}, U: 7}); err == nil {
+		t.Error("bad u: want error")
+	}
+	if _, err := q.Posterior(dataset.Record{X: []float64{0}, U: 0}); err == nil {
+		t.Error("wrong dimension: want error")
+	}
+	unlabelled := dataset.MustTable(2, nil)
+	_ = unlabelled.Append(dataset.Record{X: []float64{0, 0}, S: dataset.SUnknown, U: 0})
+	if _, err := q.Accuracy(unlabelled); err == nil {
+		t.Error("no labelled records: want error")
+	}
+}
+
+func TestQDAPriorImbalanceShiftsPosterior(t *testing.T) {
+	// With 9:1 priors towards s=1, the midpoint posterior must exceed ½.
+	r := rng.New(23)
+	tab := dataset.MustTable(1, nil)
+	for u := 0; u < 2; u++ {
+		for i := 0; i < 100; i++ {
+			_ = tab.Append(dataset.Record{X: []float64{r.Normal(0, 1)}, S: 0, U: u})
+		}
+		for i := 0; i < 900; i++ {
+			_ = tab.Append(dataset.Record{X: []float64{r.Normal(4, 1)}, S: 1, U: u})
+		}
+	}
+	q, err := NewQDA(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := q.Posterior(dataset.Record{X: []float64{2}, U: 0, S: dataset.SUnknown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.7 {
+		t.Errorf("posterior at midpoint with 9:1 prior = %v, want > 0.7", p)
+	}
+}

@@ -1,0 +1,198 @@
+// Package contu generalizes the repair to a continuous unprotected
+// attribute u ∈ R — the generalization Section VI of the paper singles out
+// ("allow us to address the important generalization to continuous
+// unprotected attributes, u ∈ R^{n_u}").
+//
+// The conditioning (X ⊥ S) | U of Definition 2.1 is discretized: the
+// research u-values are split into B quantile bins, and one per-feature
+// repair cell (support, KDE marginals, barycentric target, OT plans — the
+// exact Algorithm-1 primitive, reused from internal/core) is designed per
+// (bin, feature). At repair time a record's u selects its bin; optionally
+// the two bins bracketing u blend stochastically, extending the paper's
+// τ-Bernoulli grid-snap randomization (Eq. 14) from the feature axis to the
+// u axis, so the effective plan varies continuously with u instead of
+// jumping at bin edges.
+//
+// B trades conditioning bias against estimation variance: B = 1 ignores u
+// entirely (repairing structural along with model unfairness — exactly what
+// the paper's conditional definition exists to avoid), while large B starves
+// each bin of research data. The X9 ablation sweeps B.
+package contu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"otfair/internal/core"
+)
+
+// Record is one observation with a continuous unprotected attribute:
+// z = {x, s, u} with u ∈ R.
+type Record struct {
+	// X is the feature vector.
+	X []float64
+	// S is the binary protected attribute.
+	S int
+	// U is the continuous unprotected attribute.
+	U float64
+}
+
+// Validate checks the record against the expected dimension.
+func (r Record) Validate(dim int) error {
+	if len(r.X) != dim {
+		return fmt.Errorf("contu: record has %d features, want %d", len(r.X), dim)
+	}
+	if r.S != 0 && r.S != 1 {
+		return fmt.Errorf("contu: invalid s label %d", r.S)
+	}
+	if math.IsNaN(r.U) || math.IsInf(r.U, 0) {
+		return errors.New("contu: u is not finite")
+	}
+	for k, v := range r.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("contu: feature %d is not finite", k)
+		}
+	}
+	return nil
+}
+
+// Options configures the binned design.
+type Options struct {
+	// Bins is the number of quantile bins B over u (default 4).
+	Bins int
+	// Blend enables stochastic blending between adjacent bins at repair
+	// time (default off: hard binning).
+	Blend bool
+	// Core configures the per-cell Algorithm-1 design.
+	Core core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bins == 0 {
+		o.Bins = 4
+	}
+	return o
+}
+
+// Plan is the designed continuous-u repair: B bins × d features of
+// Algorithm-1 cells plus the bin geometry.
+type Plan struct {
+	// Edges has length Bins+1: half-open bins [Edges[b], Edges[b+1]) with
+	// the outermost edges at ±Inf so every u falls somewhere.
+	Edges []float64
+	// Centers[b] is the mean research u within bin b — the interpolation
+	// anchor for blending.
+	Centers []float64
+	// Cells is indexed [bin][feature].
+	Cells [][]*core.Cell
+	// Dim is the feature dimension.
+	Dim int
+	// Opts records the design configuration.
+	Opts Options
+}
+
+// Bins returns the number of u-bins.
+func (p *Plan) Bins() int { return len(p.Centers) }
+
+// Design learns the binned repair from s-labelled research records with
+// continuous u. Every bin must contain both s-classes; if the quantile
+// split leaves a bin one-sided, lower Bins.
+func Design(research []Record, dim int, opts Options) (*Plan, error) {
+	if len(research) == 0 {
+		return nil, errors.New("contu: empty research set")
+	}
+	opts = opts.withDefaults()
+	if opts.Bins < 1 {
+		return nil, fmt.Errorf("contu: Bins must be positive, got %d", opts.Bins)
+	}
+	for i, rec := range research {
+		if err := rec.Validate(dim); err != nil {
+			return nil, fmt.Errorf("contu: research record %d: %w", i, err)
+		}
+	}
+	edges, err := quantileEdges(research, opts.Bins)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Edges:   edges,
+		Centers: make([]float64, opts.Bins),
+		Cells:   make([][]*core.Cell, opts.Bins),
+		Dim:     dim,
+		Opts:    opts,
+	}
+	for b := 0; b < opts.Bins; b++ {
+		var members []Record
+		uSum := 0.0
+		for _, rec := range research {
+			if binOf(edges, rec.U) == b {
+				members = append(members, rec)
+				uSum += rec.U
+			}
+		}
+		if len(members) == 0 {
+			return nil, fmt.Errorf("contu: bin %d is empty; lower Bins", b)
+		}
+		plan.Centers[b] = uSum / float64(len(members))
+		plan.Cells[b] = make([]*core.Cell, dim)
+		for k := 0; k < dim; k++ {
+			var x0, x1 []float64
+			for _, rec := range members {
+				if rec.S == 0 {
+					x0 = append(x0, rec.X[k])
+				} else {
+					x1 = append(x1, rec.X[k])
+				}
+			}
+			if len(x0) == 0 || len(x1) == 0 {
+				return nil, fmt.Errorf("contu: bin %d lacks an s-class (n0=%d, n1=%d); lower Bins", b, len(x0), len(x1))
+			}
+			cell, err := core.DesignCell(x0, x1, opts.Core)
+			if err != nil {
+				return nil, fmt.Errorf("contu: bin %d feature %d: %w", b, k, err)
+			}
+			plan.Cells[b][k] = cell
+		}
+	}
+	return plan, nil
+}
+
+// quantileEdges returns Bins+1 edges with the interior edges at the
+// 1/B, 2/B, … research u-quantiles and ±Inf outside, so archival u beyond
+// the research range still bins.
+func quantileEdges(research []Record, bins int) ([]float64, error) {
+	us := make([]float64, len(research))
+	for i, rec := range research {
+		us[i] = rec.U
+	}
+	sort.Float64s(us)
+	edges := make([]float64, bins+1)
+	edges[0] = math.Inf(-1)
+	edges[bins] = math.Inf(1)
+	for b := 1; b < bins; b++ {
+		q := float64(b) / float64(bins)
+		pos := q * float64(len(us)-1)
+		i := int(pos)
+		frac := pos - float64(i)
+		v := us[i]
+		if i+1 < len(us) {
+			v = us[i]*(1-frac) + us[i+1]*frac
+		}
+		edges[b] = v
+	}
+	for b := 1; b < bins; b++ {
+		if !(edges[b] > edges[b-1]) && b > 1 {
+			return nil, fmt.Errorf("contu: duplicate quantile edge at bin %d (u has too few distinct values for %d bins)", b, bins)
+		}
+	}
+	return edges, nil
+}
+
+// binOf locates u's half-open bin [edges[b], edges[b+1]): the number of
+// interior edges not exceeding u.
+func binOf(edges []float64, u float64) int {
+	interior := edges[1 : len(edges)-1]
+	return sort.Search(len(interior), func(i int) bool { return interior[i] > u })
+}

@@ -1,0 +1,331 @@
+package contu
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/core"
+	"otfair/internal/fairmetrics"
+	"otfair/internal/rng"
+)
+
+// drawContinuous samples records with u ~ Uniform(0,1) and
+// x | s,u ~ N(m_s(u), I₂) where the s-shift varies with u:
+//
+//	m_0(u) = (2u−1, 2u−1),   m_1(u) = m_0(u) + Δ(u)·(1,1),  Δ(u) = 2(1−u).
+//
+// The dependence of X on S given U changes along u, so a single global
+// repair is systematically wrong somewhere — the regime binning exists for.
+func drawContinuous(r *rng.RNG, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		u := r.Float64()
+		s := 0
+		if r.Bernoulli(0.5) {
+			s = 1
+		}
+		base := 2*u - 1
+		shift := 0.0
+		if s == 1 {
+			shift = 2 * (1 - u)
+		}
+		recs[i] = Record{
+			X: []float64{r.Normal(base+shift, 1), r.Normal(base+shift, 1)},
+			S: s,
+			U: u,
+		}
+	}
+	return recs
+}
+
+func TestRecordValidate(t *testing.T) {
+	good := Record{X: []float64{1, 2}, S: 0, U: 0.5}
+	if err := good.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Record{
+		{X: []float64{1}, S: 0, U: 0},                 // wrong dim
+		{X: []float64{1, 2}, S: 7, U: 0},              // bad s
+		{X: []float64{1, 2}, S: 0, U: math.NaN()},     // NaN u
+		{X: []float64{1, 2}, S: 0, U: math.Inf(1)},    // Inf u
+		{X: []float64{1, math.NaN()}, S: 0, U: 0},     // NaN x
+		{X: []float64{math.Inf(-1), 2}, S: 0, U: 0.1}, // Inf x
+	}
+	for i, rec := range cases {
+		if err := rec.Validate(2); err == nil {
+			t.Errorf("case %d: invalid record accepted", i)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = Record{X: []float64{0}, S: i % 2, U: float64(i)}
+	}
+	edges, err := quantileEdges(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 5 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if !math.IsInf(edges[0], -1) || !math.IsInf(edges[4], 1) {
+		t.Error("outer edges must be infinite")
+	}
+	// Interior edges near the 25/50/75 percentiles of 0..99.
+	for i, want := range []float64{24.75, 49.5, 74.25} {
+		if math.Abs(edges[i+1]-want) > 1e-9 {
+			t.Errorf("edge %d = %v, want %v", i+1, edges[i+1], want)
+		}
+	}
+	// Degenerate u values cannot support many bins.
+	same := make([]Record, 10)
+	for i := range same {
+		same[i] = Record{X: []float64{0}, S: i % 2, U: 1}
+	}
+	if _, err := quantileEdges(same, 4); err == nil {
+		t.Error("duplicate edges accepted")
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	edges := []float64{math.Inf(-1), 1, 2, math.Inf(1)}
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{-5, 0}, {0.99, 0},
+		{1, 1}, // half-open: edge belongs right
+		{1.5, 1}, {1.999, 1},
+		{2, 2}, {100, 2},
+	}
+	for _, c := range cases {
+		if got := binOf(edges, c.u); got != c.want {
+			t.Errorf("binOf(%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	if _, err := Design(nil, 2, Options{}); err == nil {
+		t.Error("empty research accepted")
+	}
+	r := rng.New(1)
+	recs := drawContinuous(r, 200)
+	if _, err := Design(recs, 3, Options{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Design(recs, 2, Options{Bins: -1}); err == nil {
+		t.Error("negative bins accepted")
+	}
+	// One-sided bin: all s=1 records above the median u.
+	var skew []Record
+	for i := 0; i < 100; i++ {
+		u := float64(i) / 100
+		s := 0
+		if u >= 0.5 {
+			s = 1
+		}
+		skew = append(skew, Record{X: []float64{u, u}, S: s, U: u})
+	}
+	if _, err := Design(skew, 2, Options{Bins: 2}); err == nil {
+		t.Error("one-sided bin accepted")
+	}
+}
+
+func TestDesignStructure(t *testing.T) {
+	r := rng.New(2)
+	recs := drawContinuous(r, 1200)
+	plan, err := Design(recs, 2, Options{Bins: 4, Core: core.Options{NQ: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Bins() != 4 {
+		t.Fatalf("bins = %d", plan.Bins())
+	}
+	if len(plan.Cells) != 4 || len(plan.Cells[0]) != 2 {
+		t.Fatalf("cells shape %dx%d", len(plan.Cells), len(plan.Cells[0]))
+	}
+	// Centers must ascend and sit inside (0,1).
+	for b := 0; b < 4; b++ {
+		if plan.Centers[b] <= 0 || plan.Centers[b] >= 1 {
+			t.Errorf("center %d = %v outside (0,1)", b, plan.Centers[b])
+		}
+		if b > 0 && plan.Centers[b] <= plan.Centers[b-1] {
+			t.Errorf("centers not ascending: %v", plan.Centers)
+		}
+	}
+}
+
+func TestRepairerValidation(t *testing.T) {
+	r := rng.New(3)
+	recs := drawContinuous(r, 600)
+	plan, err := Design(recs, 2, Options{Bins: 2, Core: core.Options{NQ: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRepairer(nil, rng.New(1), core.RepairOptions{}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := NewRepairer(plan, nil, core.RepairOptions{}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	rp, err := NewRepairer(plan, rng.New(1), core.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.RepairRecord(Record{X: []float64{0}, S: 0, U: 0.5}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := rp.RepairRecord(Record{X: []float64{0, 0}, S: 5, U: 0.5}); err == nil {
+		t.Error("bad s accepted")
+	}
+}
+
+func TestRepairReducesBinnedE(t *testing.T) {
+	r := rng.New(4)
+	research := drawContinuous(r, 1500)
+	archive := drawContinuous(r, 4000)
+	plan, err := Design(research, 2, Options{Bins: 4, Core: core.Options{NQ: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRepairer(plan, rng.New(5), core.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := rp.RepairAll(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorKDE}
+	before, err := EBinned(archive, plan.Edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := EBinned(repaired, plan.Edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before/3 {
+		t.Errorf("binned E %v → %v, want at least a 3× reduction", before, after)
+	}
+	// Labels and u pass through untouched.
+	for i := range repaired {
+		if repaired[i].S != archive[i].S || repaired[i].U != archive[i].U {
+			t.Fatalf("record %d labels changed", i)
+		}
+	}
+	if d := rp.Diagnostics(); d.Repaired != int64(len(archive)*2) {
+		t.Errorf("Repaired = %d, want %d", d.Repaired, len(archive)*2)
+	}
+}
+
+func TestMoreBinsReduceConditioningBias(t *testing.T) {
+	// Evaluated at a fine conditioning (8 evaluation bins), a 1-bin design
+	// (ignore u) must leave more residual dependence than a 4-bin design:
+	// the s-shift varies with u, so one global plan over-repairs some u and
+	// under-repairs others.
+	r := rng.New(6)
+	research := drawContinuous(r, 2000)
+	archive := drawContinuous(r, 5000)
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorKDE}
+
+	evalEdges, err := quantileEdges(archive, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residual := map[int]float64{}
+	for _, bins := range []int{1, 4} {
+		plan, err := Design(research, 2, Options{Bins: bins, Core: core.Options{NQ: 30}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := NewRepairer(plan, rng.New(7), core.RepairOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repaired, err := rp.RepairAll(archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := EBinned(repaired, evalEdges, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		residual[bins] = e
+	}
+	if residual[4] >= residual[1] {
+		t.Errorf("4-bin residual %v not below 1-bin residual %v", residual[4], residual[1])
+	}
+}
+
+func TestBlendingActivatesAndPreservesRepair(t *testing.T) {
+	r := rng.New(8)
+	research := drawContinuous(r, 1500)
+	archive := drawContinuous(r, 2000)
+	plan, err := Design(research, 2, Options{Bins: 4, Blend: true, Core: core.Options{NQ: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRepairer(plan, rng.New(9), core.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := rp.RepairAll(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Blended() == 0 {
+		t.Error("blending never activated on interior u values")
+	}
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorKDE}
+	before, err := EBinned(archive, plan.Edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := EBinned(repaired, plan.Edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before/2 {
+		t.Errorf("blended repair: E %v → %v", before, after)
+	}
+}
+
+func TestEBinnedValidation(t *testing.T) {
+	if _, err := EBinned(nil, []float64{0, 1}, fairmetrics.Config{}); err == nil {
+		t.Error("empty records accepted")
+	}
+	recs := []Record{{X: []float64{0, 0}, S: 0, U: 0.5}}
+	if _, err := EBinned(recs, []float64{0}, fairmetrics.Config{}); err == nil {
+		t.Error("single edge accepted")
+	}
+	// All one s-class: no bin evaluable.
+	if _, err := EBinned(recs, []float64{math.Inf(-1), math.Inf(1)}, fairmetrics.Config{}); err == nil {
+		t.Error("one-sided data accepted")
+	}
+}
+
+func TestEBinnedSkipsOneSidedBins(t *testing.T) {
+	// One evaluable bin plus one one-sided bin: the metric must use only
+	// the evaluable one rather than erroring.
+	r := rng.New(10)
+	var recs []Record
+	for i := 0; i < 400; i++ {
+		s := i % 2
+		shift := float64(s) * 2
+		recs = append(recs, Record{X: []float64{r.Normal(shift, 1), r.Normal(shift, 1)}, S: s, U: 0.25})
+	}
+	for i := 0; i < 50; i++ {
+		recs = append(recs, Record{X: []float64{r.Norm(), r.Norm()}, S: 0, U: 0.75})
+	}
+	e, err := EBinned(recs, []float64{math.Inf(-1), 0.5, math.Inf(1)}, fairmetrics.Config{Estimator: fairmetrics.EstimatorKDE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0.2 {
+		t.Errorf("E = %v, want the separated bin's dependence to show", e)
+	}
+}

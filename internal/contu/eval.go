@@ -1,0 +1,74 @@
+package contu
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/dataset"
+	"otfair/internal/fairmetrics"
+)
+
+// EBinned evaluates the E metric (Definition 2.4) for continuous-u records
+// by conditioning on the given bin edges: per bin the symmetrized KL between
+// the s-conditional feature densities is computed and the bins are weighted
+// by their record mass. Bins that lack an s-class are skipped and the
+// weights renormalized — with many bins and finite data some one-sided bins
+// are expected; an error is returned only when no bin is evaluable.
+//
+// Evaluating with finer edges than the design used reveals residual
+// within-bin dependence — the conditioning bias of a too-coarse design —
+// which is exactly what the X9 sweep measures.
+func EBinned(records []Record, edges []float64, cfg fairmetrics.Config) (float64, error) {
+	if len(records) == 0 {
+		return 0, errors.New("contu: no records")
+	}
+	if len(edges) < 2 {
+		return 0, errors.New("contu: need at least two edges")
+	}
+	bins := len(edges) - 1
+	dim := len(records[0].X)
+	tables := make([]*dataset.Table, bins)
+	counts := make([]int, bins)
+	for i, rec := range records {
+		if err := rec.Validate(dim); err != nil {
+			return 0, fmt.Errorf("contu: record %d: %w", i, err)
+		}
+		b := binOf(edges, rec.U)
+		if tables[b] == nil {
+			t, err := dataset.NewTable(dim, nil)
+			if err != nil {
+				return 0, err
+			}
+			tables[b] = t
+		}
+		// Within a bin the only conditioning left is the bin itself, so the
+		// binary u slot is constant.
+		if err := tables[b].Append(dataset.Record{X: rec.X, S: rec.S, U: 0}); err != nil {
+			return 0, err
+		}
+		counts[b]++
+	}
+	total, weighted := 0, 0.0
+	for b, t := range tables {
+		if t == nil {
+			continue
+		}
+		has := [2]bool{}
+		for _, rec := range t.Records() {
+			has[rec.S] = true
+		}
+		if !has[0] || !has[1] {
+			continue // one-sided bin: E_b undefined
+		}
+		e, err := fairmetrics.E(t, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("contu: bin %d: %w", b, err)
+		}
+		weighted += float64(counts[b]) * e
+		total += counts[b]
+	}
+	if total == 0 {
+		return 0, errors.New("contu: no bin contains both s-classes")
+	}
+	return weighted / float64(total), nil
+}

@@ -1,0 +1,72 @@
+package contu
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinOfAlwaysInRangeProperty(t *testing.T) {
+	f := func(rawEdges []float64, u float64) bool {
+		if math.IsNaN(u) {
+			return true
+		}
+		// Build a valid edge vector: sorted finite interiors, ±Inf outside.
+		var interior []float64
+		for _, e := range rawEdges {
+			if !math.IsNaN(e) && !math.IsInf(e, 0) {
+				interior = append(interior, e)
+			}
+		}
+		sort.Float64s(interior)
+		edges := make([]float64, 0, len(interior)+2)
+		edges = append(edges, math.Inf(-1))
+		edges = append(edges, interior...)
+		edges = append(edges, math.Inf(1))
+		b := binOf(edges, u)
+		if b < 0 || b > len(edges)-2 {
+			return false
+		}
+		// The located bin must actually contain u.
+		return edges[b] <= u && (b == len(edges)-2 || u < edges[b+1] || edges[b+1] == edges[b])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileEdgesMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, binsSeed uint8) bool {
+		var us []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				us = append(us, math.Mod(v, 1e6))
+			}
+		}
+		if len(us) < 8 {
+			return true
+		}
+		bins := int(binsSeed%4) + 1
+		recs := make([]Record, len(us))
+		for i, u := range us {
+			recs[i] = Record{X: []float64{0}, S: i % 2, U: u}
+		}
+		edges, err := quantileEdges(recs, bins)
+		if err != nil {
+			return true // duplicate quantiles are a legitimate rejection
+		}
+		if len(edges) != bins+1 {
+			return false
+		}
+		for i := 1; i < len(edges); i++ {
+			if edges[i] < edges[i-1] {
+				return false
+			}
+		}
+		return math.IsInf(edges[0], -1) && math.IsInf(edges[len(edges)-1], 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package contu
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/core"
+	"otfair/internal/rng"
+)
+
+// Repairer applies a binned continuous-u Plan to off-sample records. Not
+// safe for concurrent use: it owns an RNG stream.
+type Repairer struct {
+	plan  *Plan
+	inner []*core.Repairer // one Algorithm-2 repairer per bin
+	rng   *rng.RNG
+	// blended counts records whose bin was drawn from the blending
+	// Bernoulli rather than hard-assigned.
+	blended int64
+}
+
+// NewRepairer binds a binned plan to a randomness source. The per-bin
+// cells are wrapped in single-population core plans so the tested
+// Algorithm-2 machinery (grid snap, row draw, alias caching, diagnostics)
+// is reused verbatim.
+func NewRepairer(plan *Plan, r *rng.RNG, opts core.RepairOptions) (*Repairer, error) {
+	if plan == nil {
+		return nil, errors.New("contu: nil plan")
+	}
+	if r == nil {
+		return nil, errors.New("contu: nil rng")
+	}
+	rp := &Repairer{plan: plan, rng: r, inner: make([]*core.Repairer, plan.Bins())}
+	for b := range rp.inner {
+		binPlan := &core.Plan{
+			Dim:   plan.Dim,
+			Cells: [2][]*core.Cell{plan.Cells[b], plan.Cells[b]},
+			Opts:  plan.Opts.Core,
+		}
+		inner, err := core.NewRepairer(binPlan, r, opts)
+		if err != nil {
+			return nil, err
+		}
+		rp.inner[b] = inner
+	}
+	return rp, nil
+}
+
+// Diagnostics aggregates the Algorithm-2 counters across bins.
+func (rp *Repairer) Diagnostics() core.Diagnostics {
+	var total core.Diagnostics
+	for _, in := range rp.inner {
+		d := in.Diagnostics()
+		total.Repaired += d.Repaired
+		total.Clamped += d.Clamped
+		total.EmptyRowFallbacks += d.EmptyRowFallbacks
+	}
+	return total
+}
+
+// Blended reports how many records were repaired under a stochastically
+// blended bin.
+func (rp *Repairer) Blended() int64 { return rp.blended }
+
+// chooseBin resolves the bin for a record's u. With blending enabled the
+// two bins whose centers bracket u are mixed by a Bernoulli draw on the
+// interpolation weight — the paper's Eq. (14) randomization applied to the
+// u axis — so the effective repair varies continuously with u.
+func (rp *Repairer) chooseBin(u float64) int {
+	hard := binOf(rp.plan.Edges, u)
+	if !rp.plan.Opts.Blend || rp.plan.Bins() == 1 {
+		return hard
+	}
+	centers := rp.plan.Centers
+	last := len(centers) - 1
+	if u <= centers[0] || u >= centers[last] {
+		return hard
+	}
+	// Bracketing centers around u.
+	j := hard
+	if u < centers[j] {
+		j--
+	}
+	if j < 0 || j >= last {
+		return hard
+	}
+	w := (u - centers[j]) / (centers[j+1] - centers[j])
+	rp.blended++
+	if rp.rng.Bernoulli(w) {
+		return j + 1
+	}
+	return j
+}
+
+// RepairRecord repairs one record: its u selects (or blends) a bin, and
+// every feature passes through that bin's Algorithm-2 repair. The repaired
+// record keeps its original continuous u.
+func (rp *Repairer) RepairRecord(rec Record) (Record, error) {
+	if err := rec.Validate(rp.plan.Dim); err != nil {
+		return Record{}, err
+	}
+	b := rp.chooseBin(rec.U)
+	out := Record{X: make([]float64, len(rec.X)), S: rec.S, U: rec.U}
+	for k, x := range rec.X {
+		v, err := rp.inner[b].RepairValue(0, rec.S, k, x)
+		if err != nil {
+			return Record{}, fmt.Errorf("contu: bin %d feature %d: %w", b, k, err)
+		}
+		out.X[k] = v
+	}
+	return out, nil
+}
+
+// RepairAll repairs a slice of records in order.
+func (rp *Repairer) RepairAll(recs []Record) ([]Record, error) {
+	out := make([]Record, len(recs))
+	for i, rec := range recs {
+		r, err := rp.RepairRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("contu: record %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/dataset"
+	"otfair/internal/fairmetrics"
+	"otfair/internal/rng"
+)
+
+// The paper's practical guidance for choosing the support resolution
+// (Section V-A2b, point iv): "we will increase nQ, and monitor convergence
+// of the E performance figure, as the basis for setting its minimal
+// sufficient value". AutoTuneNQ implements exactly that loop.
+
+// AutoTuneOptions configures the nQ search.
+type AutoTuneOptions struct {
+	// Candidates is the ascending nQ ladder to walk (default
+	// 10, 20, ..., 100).
+	Candidates []int
+	// RelTol is the relative E improvement below which the ladder stops:
+	// the first candidate whose repaired-E improves on the previous one by
+	// less than RelTol is considered converged (default 0.10).
+	RelTol float64
+	// Repeats averages the self-repair E over this many randomized repairs
+	// per candidate to suppress Algorithm 2's sampling noise (default 3).
+	Repeats int
+	// Metric configures the E estimator (default plug-in).
+	Metric fairmetrics.Config
+	// MetricSet marks Metric as caller-provided.
+	MetricSet bool
+	// Design carries the non-NQ design options to use at every step.
+	Design Options
+}
+
+func (o AutoTuneOptions) withDefaults() AutoTuneOptions {
+	if len(o.Candidates) == 0 {
+		o.Candidates = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 0.10
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	if !o.MetricSet {
+		o.Metric = fairmetrics.Config{Estimator: fairmetrics.EstimatorPlugin}
+	}
+	return o
+}
+
+// AutoTuneResult reports the chosen resolution and the convergence trace.
+type AutoTuneResult struct {
+	// NQ is the selected minimal sufficient resolution.
+	NQ int
+	// Plan is the design at the selected resolution.
+	Plan *Plan
+	// Trace lists the candidate resolutions walked and the mean self-repair
+	// E at each, in order.
+	Trace []AutoTunePoint
+	// Converged is false when the ladder was exhausted without the E
+	// improvement dropping below tolerance (the last candidate is then
+	// returned).
+	Converged bool
+}
+
+// AutoTunePoint is one step of the convergence trace.
+type AutoTunePoint struct {
+	NQ int
+	E  float64
+}
+
+// AutoTuneNQ walks the candidate resolutions, designs a plan at each,
+// self-repairs the research data, and stops at the first resolution whose
+// E figure stops improving meaningfully — the paper's monitored-convergence
+// rule for choosing nQ.
+func AutoTuneNQ(research *dataset.Table, r *rng.RNG, opts AutoTuneOptions) (*AutoTuneResult, error) {
+	if research == nil || research.Len() == 0 {
+		return nil, errors.New("core: empty research table")
+	}
+	if r == nil {
+		return nil, errors.New("core: nil rng")
+	}
+	opts = opts.withDefaults()
+	for i := 1; i < len(opts.Candidates); i++ {
+		if opts.Candidates[i] <= opts.Candidates[i-1] {
+			return nil, fmt.Errorf("core: nQ candidates must ascend, got %v", opts.Candidates)
+		}
+	}
+
+	res := &AutoTuneResult{}
+	prevE := -1.0
+	var prevPlan *Plan
+	for step, nq := range opts.Candidates {
+		designOpts := opts.Design
+		designOpts.NQ = nq
+		plan, err := Design(research, designOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: autotune nQ=%d: %w", nq, err)
+		}
+		mean := 0.0
+		for rep := 0; rep < opts.Repeats; rep++ {
+			rp, err := NewRepairer(plan, r.Split(uint64(step*1000+rep)), RepairOptions{})
+			if err != nil {
+				return nil, err
+			}
+			repaired, err := rp.RepairTable(research)
+			if err != nil {
+				return nil, fmt.Errorf("core: autotune nQ=%d: %w", nq, err)
+			}
+			e, err := fairmetrics.E(repaired, opts.Metric)
+			if err != nil {
+				return nil, fmt.Errorf("core: autotune nQ=%d: %w", nq, err)
+			}
+			mean += e
+		}
+		mean /= float64(opts.Repeats)
+		res.Trace = append(res.Trace, AutoTunePoint{NQ: nq, E: mean})
+
+		if prevE >= 0 {
+			improvement := (prevE - mean) / (prevE + 1e-300)
+			if improvement < opts.RelTol {
+				// Converged: the PREVIOUS resolution was already sufficient.
+				res.NQ = opts.Candidates[step-1]
+				res.Plan = prevPlan
+				res.Converged = true
+				return res, nil
+			}
+		}
+		prevE = mean
+		prevPlan = plan
+	}
+	res.NQ = opts.Candidates[len(opts.Candidates)-1]
+	res.Plan = prevPlan
+	res.Converged = false
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"otfair/internal/rng"
+)
+
+func TestAutoTuneNQConverges(t *testing.T) {
+	research, _ := paperData(t, 81, 500, 0)
+	res, err := AutoTuneNQ(research, rng.New(82), AutoTuneOptions{
+		Candidates: []int{10, 20, 30, 40, 50},
+		Repeats:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("no plan returned")
+	}
+	if res.NQ < 10 || res.NQ > 50 {
+		t.Errorf("selected nQ = %d", res.NQ)
+	}
+	if len(res.Trace) < 2 {
+		t.Errorf("trace = %v", res.Trace)
+	}
+	if res.Plan.Opts.NQ != res.NQ {
+		t.Errorf("plan nQ %d != selected %d", res.Plan.Opts.NQ, res.NQ)
+	}
+	// The paper's regime: on smooth Gaussian data the metric converges well
+	// before the top of the ladder.
+	if res.Converged && res.NQ == 50 {
+		t.Error("converged flag set at ladder top")
+	}
+}
+
+func TestAutoTuneNQExhaustsLadder(t *testing.T) {
+	research, _ := paperData(t, 83, 400, 0)
+	// An impossible tolerance never converges; the last candidate wins.
+	res, err := AutoTuneNQ(research, rng.New(84), AutoTuneOptions{
+		Candidates: []int{10, 20},
+		RelTol:     0.999999,
+		Repeats:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With RelTol ~1 the second step always "converges" unless E keeps
+	// halving; either outcome must return a usable plan.
+	if res.Plan == nil || res.NQ == 0 {
+		t.Fatalf("unusable result: %+v", res)
+	}
+}
+
+func TestAutoTuneNQValidation(t *testing.T) {
+	research, _ := paperData(t, 85, 200, 0)
+	if _, err := AutoTuneNQ(nil, rng.New(1), AutoTuneOptions{}); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := AutoTuneNQ(research, nil, AutoTuneOptions{}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := AutoTuneNQ(research, rng.New(1), AutoTuneOptions{
+		Candidates: []int{30, 20},
+	}); err == nil {
+		t.Error("descending candidates accepted")
+	}
+}
+
+func TestAutoTuneTraceMonotoneCandidates(t *testing.T) {
+	research, _ := paperData(t, 86, 300, 0)
+	res, err := AutoTuneNQ(research, rng.New(87), AutoTuneOptions{
+		Candidates: []int{15, 25, 35},
+		Repeats:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].NQ <= res.Trace[i-1].NQ {
+			t.Errorf("trace candidates not ascending: %v", res.Trace)
+		}
+	}
+}

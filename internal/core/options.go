@@ -1,0 +1,213 @@
+// Package core implements the paper's contribution: the distributional
+// OT repair. Algorithm 1 (Design) learns, from a small s|u-labelled
+// research set, one optimal-transport plan per (u, s, feature) from the
+// KDE-interpolated marginal onto the W2 barycentric fair target; Algorithm 2
+// (Repairer) then repairs arbitrarily many off-sample archival points by a
+// two-stage randomization — a Bernoulli grid-snap followed by a categorical
+// draw from the plan row — preserving group cardinalities while quenching
+// the conditional dependence of X on S given U.
+//
+// The geometric on-sample baseline of Del Barrio, Gordaliza & Loubes
+// (ICML 2019), which the paper compares against, is implemented in
+// geometric.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/kde"
+)
+
+// SolverKind selects the OT solver used for the π*_{u,s,k} plans.
+type SolverKind int
+
+const (
+	// SolverMonotone (default) is the exact O(nQ) 1-D solver, optimal for
+	// the paper's convex (squared Euclidean) cost.
+	SolverMonotone SolverKind = iota
+	// SolverSimplex is the exact network-simplex solver; same optimum as
+	// monotone on convex costs, usable with arbitrary costs.
+	SolverSimplex
+	// SolverSinkhorn is entropically regularized OT (Section IV-A1's
+	// O(nQ²/ε²) alternative); plans are blurred but cheap at scale.
+	SolverSinkhorn
+)
+
+// String names the solver for flags and reports.
+func (s SolverKind) String() string {
+	switch s {
+	case SolverMonotone:
+		return "monotone"
+	case SolverSimplex:
+		return "simplex"
+	case SolverSinkhorn:
+		return "sinkhorn"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// ParseSolver resolves a solver name.
+func ParseSolver(name string) (SolverKind, error) {
+	switch name {
+	case "monotone", "exact", "":
+		return SolverMonotone, nil
+	case "simplex":
+		return SolverSimplex, nil
+	case "sinkhorn":
+		return SolverSinkhorn, nil
+	default:
+		return 0, fmt.Errorf("core: unknown solver %q", name)
+	}
+}
+
+// BarycenterKind selects the barycenter construction for the target ν.
+type BarycenterKind int
+
+const (
+	// BarycenterQuantile (default) is the exact 1-D quantile-average
+	// barycenter projected onto the support grid.
+	BarycenterQuantile BarycenterKind = iota
+	// BarycenterBregman is the entropically regularized fixed-support
+	// barycenter (iterative Bregman projections).
+	BarycenterBregman
+)
+
+// String names the barycenter method.
+func (b BarycenterKind) String() string {
+	if b == BarycenterBregman {
+		return "bregman"
+	}
+	return "quantile"
+}
+
+// ParseBarycenter resolves a barycenter method name.
+func ParseBarycenter(name string) (BarycenterKind, error) {
+	switch name {
+	case "quantile", "exact", "":
+		return BarycenterQuantile, nil
+	case "bregman", "sinkhorn":
+		return BarycenterBregman, nil
+	default:
+		return 0, fmt.Errorf("core: unknown barycenter method %q", name)
+	}
+}
+
+// TargetKind selects the repair-target family ν — the paper adopts the
+// Wasserstein barycenter but Section VI explicitly asks for
+// "non-Wasserstein-based target designs" to be considered; these are they.
+type TargetKind int
+
+const (
+	// TargetBarycenter (default) is the paper's W2-geodesic target (Eq. 7),
+	// built by the method selected in Options.Barycenter.
+	TargetBarycenter TargetKind = iota
+	// TargetMixture is the vertical (L2) average ν = (1−t)·p0 + t·p1 — the
+	// pooled mixture marginal of Eq. (10). No transport geometry: where the
+	// conditionals are disjoint the target is bimodal and both groups split
+	// across it.
+	TargetMixture
+	// TargetGaussian is the moment-matched parametric target: a normal pmf
+	// with mean (1−t)·m0 + t·m1 and deviation (1−t)·σ0 + t·σ1, which equals
+	// the exact W2 barycenter when both conditionals are Gaussian and is a
+	// cheap, smooth approximation when they nearly are.
+	TargetGaussian
+)
+
+// String names the target family for flags and reports.
+func (t TargetKind) String() string {
+	switch t {
+	case TargetMixture:
+		return "mixture"
+	case TargetGaussian:
+		return "gaussian"
+	default:
+		return "barycenter"
+	}
+}
+
+// ParseTarget resolves a target family name.
+func ParseTarget(name string) (TargetKind, error) {
+	switch name {
+	case "barycenter", "":
+		return TargetBarycenter, nil
+	case "mixture":
+		return TargetMixture, nil
+	case "gaussian":
+		return TargetGaussian, nil
+	default:
+		return 0, fmt.Errorf("core: unknown target %q", name)
+	}
+}
+
+// Options configures Algorithm 1.
+type Options struct {
+	// NQ is the number of interpolated support states per (u, feature)
+	// (the paper's n_Q; default 50, its simulation setting).
+	NQ int
+	// T places the repair target on the W2 geodesic between the two
+	// s-conditionals (Eq. 7). The paper's fair target is the midpoint
+	// t = 0.5 (default when zero). Must lie in (0, 1) ∪ {0.5}… any (0,1).
+	T float64
+	// Amount is the partial-repair strength λ ∈ [0, 1]: each s-conditional
+	// is transported to the point λ of the way along its geodesic towards
+	// the target ν. 1 (default when zero via DefaultAmount) is the paper's
+	// full repair; smaller values trade residual dependence for lower data
+	// damage (the Section VI trade-off, ablation X2).
+	Amount float64
+	// AmountSet marks Amount as intentional; a zero Amount with AmountSet
+	// false means "default to full repair".
+	AmountSet bool
+	// Kernel and Bandwidth configure the Eq. (11) KDE (defaults: Gaussian,
+	// Silverman — the paper's choices).
+	Kernel    kde.Kernel
+	Bandwidth kde.Bandwidth
+	// Solver picks the OT solver for the plans.
+	Solver SolverKind
+	// Target picks the repair-target family ν (default: the paper's
+	// Wasserstein barycenter).
+	Target TargetKind
+	// Barycenter picks the barycentric construction when Target is
+	// TargetBarycenter.
+	Barycenter BarycenterKind
+	// SinkhornEpsilon overrides the entropic regularization when Solver is
+	// SolverSinkhorn (0 = scale-free default).
+	SinkhornEpsilon float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NQ == 0 {
+		o.NQ = 50
+	}
+	if o.T == 0 {
+		o.T = 0.5
+	}
+	if !o.AmountSet && o.Amount == 0 {
+		o.Amount = 1
+	}
+	return o
+}
+
+// validate checks option ranges after defaulting.
+func (o Options) validate() error {
+	if o.NQ < 2 {
+		return fmt.Errorf("core: NQ must be at least 2, got %d", o.NQ)
+	}
+	if o.T <= 0 || o.T >= 1 {
+		return fmt.Errorf("core: geodesic parameter T = %v outside (0,1)", o.T)
+	}
+	if o.Amount < 0 || o.Amount > 1 {
+		return fmt.Errorf("core: repair amount %v outside [0,1]", o.Amount)
+	}
+	if o.Solver < SolverMonotone || o.Solver > SolverSinkhorn {
+		return errors.New("core: unknown solver")
+	}
+	if o.Target < TargetBarycenter || o.Target > TargetGaussian {
+		return errors.New("core: unknown target family")
+	}
+	if o.Barycenter < BarycenterQuantile || o.Barycenter > BarycenterBregman {
+		return errors.New("core: unknown barycenter method")
+	}
+	return nil
+}

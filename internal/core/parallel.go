@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// RepairTableParallel repairs a table across workers goroutines
+// (0 = GOMAXPROCS). Each worker owns an independent Repairer seeded with a
+// deterministic Split of the caller's RNG and a contiguous shard of the
+// table, so the result is reproducible for a fixed (seed, table) regardless
+// of scheduling — the property the Monte-Carlo harness depends on. The
+// returned diagnostics aggregate all workers.
+//
+// This is the high-throughput batch variant of Algorithm 2 for archival
+// backfills; the streaming path (Repairer.RepairStream) remains the
+// online-deployment mode.
+func RepairTableParallel(plan *Plan, r *rng.RNG, opts RepairOptions, t *dataset.Table, workers int) (*dataset.Table, Diagnostics, error) {
+	var diag Diagnostics
+	if plan == nil {
+		return nil, diag, errors.New("core: nil plan")
+	}
+	if r == nil {
+		return nil, diag, errors.New("core: nil rng")
+	}
+	if t == nil {
+		return nil, diag, errors.New("core: nil table")
+	}
+	if t.Dim() != plan.Dim {
+		return nil, diag, fmt.Errorf("core: table dimension %d does not match plan %d", t.Dim(), plan.Dim)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := t.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		rp, err := NewRepairer(plan, r.Split(0), opts)
+		if err != nil {
+			return nil, diag, err
+		}
+		out, err := rp.RepairTable(t)
+		return out, rp.Diagnostics(), err
+	}
+
+	repaired := make([]dataset.Record, n)
+	diags := make([]Diagnostics, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rp, err := NewRepairer(plan, r.Split(uint64(w)), opts)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				rec, err := rp.RepairRecord(t.At(i))
+				if err != nil {
+					errs[w] = fmt.Errorf("core: record %d: %w", i, err)
+					return
+				}
+				repaired[i] = rec
+			}
+			diags[w] = rp.Diagnostics()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, diag, err
+		}
+	}
+	for _, d := range diags {
+		diag.Repaired += d.Repaired
+		diag.Clamped += d.Clamped
+		diag.EmptyRowFallbacks += d.EmptyRowFallbacks
+	}
+	out, err := dataset.NewTable(t.Dim(), t.Names())
+	if err != nil {
+		return nil, diag, err
+	}
+	if err := out.AppendAll(repaired); err != nil {
+		return nil, diag, err
+	}
+	return out, diag, nil
+}

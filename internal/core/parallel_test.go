@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/fairmetrics"
+	"otfair/internal/rng"
+)
+
+func TestParallelRepairMatchesQuality(t *testing.T) {
+	research, archive := paperData(t, 41, 500, 6000)
+	plan, err := Design(research, Options{NQ: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, diag, err := RepairTableParallel(plan, rng.New(5), RepairOptions{}, archive, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != archive.Len() {
+		t.Fatalf("len %d != %d", out.Len(), archive.Len())
+	}
+	if diag.Repaired != int64(archive.Len()*archive.Dim()) {
+		t.Errorf("diag repaired = %d", diag.Repaired)
+	}
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorPlugin}
+	before, _ := fairmetrics.E(archive, cfg)
+	after, _ := fairmetrics.E(out, cfg)
+	if after > before/3 {
+		t.Errorf("parallel repair too weak: %v -> %v", before, after)
+	}
+	// Labels preserved record-for-record.
+	for i := 0; i < out.Len(); i++ {
+		if out.At(i).S != archive.At(i).S || out.At(i).U != archive.At(i).U {
+			t.Fatal("labels scrambled")
+		}
+	}
+}
+
+func TestParallelRepairDeterministicAcrossWorkerCounts(t *testing.T) {
+	research, archive := paperData(t, 42, 300, 2000)
+	plan, err := Design(research, Options{NQ: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same worker count, same seed -> identical output.
+	a, _, err := RepairTableParallel(plan, rng.New(7), RepairOptions{}, archive, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RepairTableParallel(plan, rng.New(7), RepairOptions{}, archive, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i).X[0] != b.At(i).X[0] || a.At(i).X[1] != b.At(i).X[1] {
+			t.Fatalf("record %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestParallelRepairSingleWorkerFallback(t *testing.T) {
+	research, archive := paperData(t, 43, 300, 100)
+	plan, _ := Design(research, Options{})
+	out, diag, err := RepairTableParallel(plan, rng.New(9), RepairOptions{}, archive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != archive.Len() || diag.Repaired == 0 {
+		t.Errorf("fallback repair incomplete: %d records, %d repaired", out.Len(), diag.Repaired)
+	}
+}
+
+func TestParallelRepairValidation(t *testing.T) {
+	research, archive := paperData(t, 44, 200, 50)
+	plan, _ := Design(research, Options{})
+	if _, _, err := RepairTableParallel(nil, rng.New(1), RepairOptions{}, archive, 2); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, _, err := RepairTableParallel(plan, nil, RepairOptions{}, archive, 2); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, _, err := RepairTableParallel(plan, rng.New(1), RepairOptions{}, nil, 2); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, _, err := RepairTableParallel(plan, rng.New(1), RepairOptions{}, dataset.MustTable(5, nil), 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Unlabelled record inside a shard surfaces the worker error.
+	bad := archive.DropS()
+	if _, _, err := RepairTableParallel(plan, rng.New(1), RepairOptions{}, bad, 2); err == nil {
+		t.Error("unlabelled records accepted")
+	}
+}

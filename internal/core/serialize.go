@@ -1,0 +1,204 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"otfair/internal/dataset"
+	"otfair/internal/kde"
+	"otfair/internal/ot"
+)
+
+// Plans are designed once on the research data and then deployed against
+// archival torrents, potentially in separate processes or long after design
+// time. The JSON form below is that deployment artifact: self-contained,
+// versioned, and byte-stable for a given plan.
+
+// planVersion is bumped when the serialized layout changes incompatibly.
+const planVersion = 1
+
+type planJSON struct {
+	Version    int            `json:"version"`
+	Dim        int            `json:"dim"`
+	Names      []string       `json:"names"`
+	Opts       optionsJSON    `json:"options"`
+	GroupSizes map[string]int `json:"group_sizes"`
+	Cells      [2][]cellJSON  `json:"cells"`
+}
+
+type optionsJSON struct {
+	NQ              int     `json:"nq"`
+	T               float64 `json:"t"`
+	Amount          float64 `json:"amount"`
+	Kernel          string  `json:"kernel"`
+	Bandwidth       string  `json:"bandwidth"`
+	Solver          string  `json:"solver"`
+	Target          string  `json:"target"`
+	Barycenter      string  `json:"barycenter"`
+	SinkhornEpsilon float64 `json:"sinkhorn_epsilon,omitempty"`
+}
+
+type cellJSON struct {
+	Q          []float64     `json:"q"`
+	PMF        [2][]float64  `json:"pmf"`
+	Bary       []float64     `json:"bary"`
+	Target     [2][]float64  `json:"target"`
+	Plans      [2][]ot.Entry `json:"plans"`
+	H          [2]float64    `json:"h"`
+	Degenerate bool          `json:"degenerate,omitempty"`
+}
+
+func groupKey(g dataset.Group) string { return fmt.Sprintf("u%ds%d", g.U, g.S) }
+
+// WriteJSON serializes the plan.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	out := planJSON{
+		Version: planVersion,
+		Dim:     p.Dim,
+		Names:   p.Names,
+		Opts: optionsJSON{
+			NQ:              p.Opts.NQ,
+			T:               p.Opts.T,
+			Amount:          p.Opts.Amount,
+			Kernel:          p.Opts.Kernel.String(),
+			Bandwidth:       p.Opts.Bandwidth.String(),
+			Solver:          p.Opts.Solver.String(),
+			Target:          p.Opts.Target.String(),
+			Barycenter:      p.Opts.Barycenter.String(),
+			SinkhornEpsilon: p.Opts.SinkhornEpsilon,
+		},
+		GroupSizes: make(map[string]int, len(p.GroupSizes)),
+	}
+	for g, n := range p.GroupSizes {
+		out.GroupSizes[groupKey(g)] = n
+	}
+	for u := 0; u < 2; u++ {
+		out.Cells[u] = make([]cellJSON, len(p.Cells[u]))
+		for k, cell := range p.Cells[u] {
+			cj := cellJSON{
+				Q:          cell.Q,
+				PMF:        cell.PMF,
+				Bary:       cell.Bary,
+				Target:     cell.Target,
+				H:          cell.H,
+				Degenerate: cell.Degenerate,
+			}
+			for s := 0; s < 2; s++ {
+				cj.Plans[s] = cell.Plans[s].Entries()
+			}
+			out.Cells[u][k] = cj
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadPlan deserializes a plan written by WriteJSON, re-validating every
+// component so a corrupted or hand-edited file fails loudly rather than
+// repairing data with garbage.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var in planJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding plan: %w", err)
+	}
+	if in.Version != planVersion {
+		return nil, fmt.Errorf("core: plan version %d unsupported (want %d)", in.Version, planVersion)
+	}
+	if in.Dim <= 0 {
+		return nil, errors.New("core: plan has non-positive dimension")
+	}
+	kernel, err := kde.ParseKernel(in.Opts.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	bandwidth, err := kde.ParseBandwidth(in.Opts.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := ParseSolver(in.Opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	target, err := ParseTarget(in.Opts.Target)
+	if err != nil {
+		return nil, err
+	}
+	bary, err := ParseBarycenter(in.Opts.Barycenter)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Dim:   in.Dim,
+		Names: in.Names,
+		Opts: Options{
+			NQ:              in.Opts.NQ,
+			T:               in.Opts.T,
+			Amount:          in.Opts.Amount,
+			AmountSet:       true,
+			Kernel:          kernel,
+			Bandwidth:       bandwidth,
+			Solver:          solver,
+			Target:          target,
+			Barycenter:      bary,
+			SinkhornEpsilon: in.Opts.SinkhornEpsilon,
+		},
+		GroupSizes: make(map[dataset.Group]int, 4),
+	}
+	for _, g := range dataset.Groups() {
+		if n, ok := in.GroupSizes[groupKey(g)]; ok {
+			plan.GroupSizes[g] = n
+		}
+	}
+	for u := 0; u < 2; u++ {
+		if len(in.Cells[u]) != in.Dim {
+			return nil, fmt.Errorf("core: plan u=%d has %d cells, want %d", u, len(in.Cells[u]), in.Dim)
+		}
+		plan.Cells[u] = make([]*Cell, in.Dim)
+		for k, cj := range in.Cells[u] {
+			cell, err := cellFromJSON(cj)
+			if err != nil {
+				return nil, fmt.Errorf("core: plan cell (u=%d, k=%d): %w", u, k, err)
+			}
+			plan.Cells[u][k] = cell
+		}
+	}
+	return plan, nil
+}
+
+func cellFromJSON(cj cellJSON) (*Cell, error) {
+	n := len(cj.Q)
+	if n == 0 {
+		return nil, errors.New("empty support")
+	}
+	for i := 1; i < n; i++ {
+		if cj.Q[i] <= cj.Q[i-1] {
+			return nil, fmt.Errorf("support not ascending at state %d", i)
+		}
+	}
+	cell := &Cell{Q: cj.Q, Bary: cj.Bary, H: cj.H, Degenerate: cj.Degenerate}
+	if len(cj.Bary) != n {
+		return nil, fmt.Errorf("barycenter has %d states, support has %d", len(cj.Bary), n)
+	}
+	for s := 0; s < 2; s++ {
+		if len(cj.PMF[s]) != n {
+			return nil, fmt.Errorf("pmf[%d] has %d states, support has %d", s, len(cj.PMF[s]), n)
+		}
+		if len(cj.Target[s]) != n {
+			return nil, fmt.Errorf("target[%d] has %d states, support has %d", s, len(cj.Target[s]), n)
+		}
+		cell.PMF[s] = cj.PMF[s]
+		cell.Target[s] = cj.Target[s]
+		plan, err := ot.NewPlan(n, n, cj.Plans[s])
+		if err != nil {
+			return nil, fmt.Errorf("plan[%d]: %w", s, err)
+		}
+		if plan.TotalMass() <= 0 {
+			return nil, fmt.Errorf("plan[%d] carries no mass", s)
+		}
+		cell.Plans[s] = plan
+	}
+	return cell, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"otfair/internal/fairmetrics"
+	"otfair/internal/rng"
+)
+
+func TestParseTargetRoundTrip(t *testing.T) {
+	for _, k := range []TargetKind{TargetBarycenter, TargetMixture, TargetGaussian} {
+		got, err := ParseTarget(k.String())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got != k {
+			t.Errorf("ParseTarget(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseTarget("nonsense"); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if k, err := ParseTarget(""); err != nil || k != TargetBarycenter {
+		t.Errorf("empty name: got (%v, %v)", k, err)
+	}
+	if TargetKind(9).String() != "barycenter" {
+		// Unknown kinds render as the default family name; what matters is
+		// they do not panic.
+		t.Log("unknown target renders as default")
+	}
+}
+
+func TestDesignRejectsUnknownTarget(t *testing.T) {
+	research, _ := paperData(t, 1, 300, 0)
+	if _, err := Design(research, Options{Target: TargetKind(42)}); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestMixtureTargetIsWeightedAverage(t *testing.T) {
+	research, _ := paperData(t, 2, 500, 0)
+	plan, err := Design(research, Options{NQ: 40, Target: TargetMixture, T: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		for k := 0; k < 2; k++ {
+			cell := plan.Cell(u, k)
+			for i := range cell.Bary {
+				want := 0.7*cell.PMF[0][i] + 0.3*cell.PMF[1][i]
+				if math.Abs(cell.Bary[i]-want) > 1e-12 {
+					t.Fatalf("(u=%d,k=%d) state %d: %v, want %v", u, k, i, cell.Bary[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGaussianTargetMoments(t *testing.T) {
+	research, _ := paperData(t, 3, 2000, 0)
+	plan, err := Design(research, Options{NQ: 60, Target: TargetGaussian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		for k := 0; k < 2; k++ {
+			cell := plan.Cell(u, k)
+			moments := func(p []float64) (mean, std float64) {
+				for i, v := range p {
+					mean += v * cell.Q[i]
+				}
+				m2 := 0.0
+				for i, v := range p {
+					d := cell.Q[i] - mean
+					m2 += v * d * d
+				}
+				return mean, math.Sqrt(m2)
+			}
+			m0, s0 := moments(cell.PMF[0])
+			m1, s1 := moments(cell.PMF[1])
+			mb, sb := moments(cell.Bary)
+			if math.Abs(mb-(m0+m1)/2) > 0.05 {
+				t.Errorf("(u=%d,k=%d): target mean %v, want %v", u, k, mb, (m0+m1)/2)
+			}
+			// Grid truncation clips Gaussian tails slightly; allow 10%.
+			if math.Abs(sb-(s0+s1)/2) > 0.1*(s0+s1)/2 {
+				t.Errorf("(u=%d,k=%d): target std %v, want ≈ %v", u, k, sb, (s0+s1)/2)
+			}
+		}
+	}
+}
+
+func TestGaussianTargetMatchesBarycenterOnGaussianData(t *testing.T) {
+	// For Gaussian conditionals the moment-matched target IS the W2
+	// barycenter; the two designs must land close in L1.
+	research, _ := paperData(t, 4, 4000, 0)
+	baryPlan, err := Design(research, Options{NQ: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaussPlan, err := Design(research, Options{NQ: 50, Target: TargetGaussian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		for k := 0; k < 2; k++ {
+			a, b := baryPlan.Cell(u, k).Bary, gaussPlan.Cell(u, k).Bary
+			l1 := 0.0
+			for i := range a {
+				l1 += math.Abs(a[i] - b[i])
+			}
+			if l1 > 0.15 {
+				t.Errorf("(u=%d,k=%d): L1 gap %v between barycenter and Gaussian targets", u, k, l1)
+			}
+		}
+	}
+}
+
+func TestAllTargetsQuenchE(t *testing.T) {
+	research, archive := paperData(t, 5, 800, 3000)
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorKDE}
+	before, err := fairmetrics.E(archive, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []TargetKind{TargetBarycenter, TargetMixture, TargetGaussian} {
+		plan, err := Design(research, Options{NQ: 50, Target: target})
+		if err != nil {
+			t.Fatalf("%v: %v", target, err)
+		}
+		rp, err := NewRepairer(plan, rng.New(6), RepairOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repaired, err := rp.RepairTable(archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := fairmetrics.E(repaired, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after >= before/3 {
+			t.Errorf("%v: E %v → %v, want at least 3× reduction (any s-invariant target quenches)", target, before, after)
+		}
+	}
+}
+
+func TestBarycenterTargetMinimizesTransportCost(t *testing.T) {
+	// The W2 barycenter is the minimal-total-transport target by
+	// construction; both alternatives must cost at least as much.
+	research, _ := paperData(t, 7, 1500, 0)
+	costs := map[TargetKind]float64{}
+	for _, target := range []TargetKind{TargetBarycenter, TargetMixture, TargetGaussian} {
+		plan, err := Design(research, Options{NQ: 50, Target: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for u := 0; u < 2; u++ {
+			for k := 0; k < 2; k++ {
+				total += plan.TransportCost(u, k)
+			}
+		}
+		costs[target] = total
+	}
+	if costs[TargetMixture] < costs[TargetBarycenter]*0.99 {
+		t.Errorf("mixture target cost %v below barycenter %v", costs[TargetMixture], costs[TargetBarycenter])
+	}
+	if costs[TargetGaussian] < costs[TargetBarycenter]*0.99 {
+		t.Errorf("gaussian target cost %v below barycenter %v", costs[TargetGaussian], costs[TargetBarycenter])
+	}
+}
+
+func TestTargetSerializationRoundTrip(t *testing.T) {
+	research, _ := paperData(t, 8, 400, 0)
+	for _, target := range []TargetKind{TargetMixture, TargetGaussian} {
+		plan, err := Design(research, Options{NQ: 20, Target: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := plan.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadPlan(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Opts.Target != target {
+			t.Errorf("round-trip target = %v, want %v", got.Opts.Target, target)
+		}
+	}
+}

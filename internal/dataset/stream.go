@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Stream delivers records one at a time — the paper's "torrents of archival
+// data" observed online (Section II). Implementations return io.EOF when
+// exhausted.
+type Stream interface {
+	// Next returns the next record or io.EOF.
+	Next() (Record, error)
+	// Dim reports the feature dimension of the stream's records.
+	Dim() int
+}
+
+// SliceStream adapts an in-memory table to the Stream interface.
+type SliceStream struct {
+	table *Table
+	pos   int
+}
+
+// NewSliceStream wraps a table.
+func NewSliceStream(t *Table) *SliceStream { return &SliceStream{table: t} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Record, error) {
+	if s.pos >= s.table.Len() {
+		return Record{}, io.EOF
+	}
+	r := s.table.At(s.pos)
+	s.pos++
+	return r, nil
+}
+
+// Dim implements Stream.
+func (s *SliceStream) Dim() int { return s.table.Dim() }
+
+// CSVStream parses records incrementally from a CSV reader in the WriteCSV
+// layout, holding only one row in memory at a time.
+type CSVStream struct {
+	cr   *csv.Reader
+	dim  int
+	line int
+}
+
+// NewCSVStream reads and validates the header, returning a stream over the
+// remaining rows.
+func NewCSVStream(r io.Reader) (*CSVStream, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading stream header: %w", err)
+	}
+	if len(header) < 3 || strings.TrimSpace(header[0]) != "s" || strings.TrimSpace(header[1]) != "u" {
+		return nil, fmt.Errorf("dataset: stream header must start with s,u, got %v", header)
+	}
+	return &CSVStream{cr: cr, dim: len(header) - 2, line: 1}, nil
+}
+
+// Next implements Stream.
+func (s *CSVStream) Next() (Record, error) {
+	row, err := s.cr.Read()
+	if err == io.EOF {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("dataset: stream line %d: %w", s.line+1, err)
+	}
+	s.line++
+	return parseRow(row, s.dim, s.line)
+}
+
+// Dim implements Stream.
+func (s *CSVStream) Dim() int { return s.dim }
+
+// Collect drains a stream into a table (for tests and small inputs; the
+// repair path proper never needs to materialize a stream).
+func Collect(s Stream) (*Table, error) {
+	t, err := NewTable(s.Dim(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Append(r); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package divergence
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"otfair/internal/kde"
+	"otfair/internal/rng"
+	"otfair/internal/stat"
+)
+
+func TestKLIdentical(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	d, err := KL(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Errorf("KL(p,p) = %v", d)
+	}
+}
+
+func TestKLKnownValue(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	want := 0.5*math.Log(2) + 0.5*math.Log(2.0/3)
+	d, err := KL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("KL = %v, want %v", d, want)
+	}
+}
+
+func TestKLAsymmetric(t *testing.T) {
+	p := []float64{0.9, 0.1}
+	q := []float64{0.1, 0.9}
+	a, _ := KL(p, q)
+	b, _ := KL(q, p)
+	s, _ := SymKL(p, q)
+	if math.Abs(s-0.5*(a+b)) > 1e-12 {
+		t.Errorf("SymKL %v != mean of %v, %v", s, a, b)
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	err := quick.Check(func(a, b, c, d uint8) bool {
+		p := []float64{float64(a) + 1, float64(b) + 1}
+		q := []float64{float64(c) + 1, float64(d) + 1}
+		pn, _ := stat.Normalize(p)
+		qn, _ := stat.Normalize(q)
+		kl, err := KL(pn, qn)
+		return err == nil && kl >= 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymKLSymmetricProperty(t *testing.T) {
+	err := quick.Check(func(a, b, c, d uint8) bool {
+		p := []float64{float64(a) + 1, float64(b) + 1, 2}
+		q := []float64{float64(c) + 1, float64(d) + 1, 3}
+		pn, _ := stat.Normalize(p)
+		qn, _ := stat.Normalize(q)
+		s1, _ := SymKL(pn, qn)
+		s2, _ := SymKL(qn, pn)
+		return math.Abs(s1-s2) < 1e-12
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := KL([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := KL(nil, nil); err == nil {
+		t.Error("empty pmfs accepted")
+	}
+	if _, err := KL([]float64{-0.1, 1.1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("negative mass accepted")
+	}
+	if _, err := KL([]float64{math.NaN(), 1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("NaN mass accepted")
+	}
+	if _, err := KLFloored([]float64{1, 0}, []float64{0, 1}, 0); err == nil {
+		t.Error("zero floor accepted")
+	}
+}
+
+func TestFlooringKeepsFinite(t *testing.T) {
+	// Disjoint supports: without flooring KL is infinite.
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	d, err := KL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("floored KL not finite: %v", d)
+	}
+	if d < 10 {
+		t.Errorf("disjoint-support KL suspiciously small: %v", d)
+	}
+}
+
+func TestJensenShannonBounds(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	d, err := JensenShannon(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < math.Log(2)-1e-6 || d > math.Log(2)+1e-6 {
+		t.Errorf("JS of disjoint = %v, want ln2 = %v", d, math.Log(2))
+	}
+	same, _ := JensenShannon(p, p)
+	if same > 1e-9 {
+		t.Errorf("JS(p,p) = %v", same)
+	}
+}
+
+func TestHellingerKnown(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	h, err := Hellinger(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-12 {
+		t.Errorf("Hellinger disjoint = %v", h)
+	}
+	h2, _ := Hellinger(p, p)
+	if h2 != 0 {
+		t.Errorf("Hellinger(p,p) = %v", h2)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	tv, err := TotalVariation(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tv-0.25) > 1e-12 {
+		t.Errorf("TV = %v", tv)
+	}
+}
+
+func TestChiSquaredZeroOnIdentical(t *testing.T) {
+	p := []float64{0.3, 0.7}
+	c, err := ChiSquared(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > 1e-12 {
+		t.Errorf("chi2(p,p) = %v", c)
+	}
+}
+
+func TestGaussianKLClosedForm(t *testing.T) {
+	// Equal variances: D = (Δm)²/2σ².
+	if got := GaussianKL(0, 1, 1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("GaussianKL = %v, want 0.5", got)
+	}
+	// Identical distributions.
+	if got := GaussianKL(2, 3, 2, 3); math.Abs(got) > 1e-12 {
+		t.Errorf("GaussianKL identical = %v", got)
+	}
+	// Symmetrized equal-variance: (Δm)²/σ²·1/2·2·(1/2)... = (Δm)²/(2σ²)
+	// summed both ways = (Δm)²/σ² / ... compute: ½(0.5+0.5)=0.5 for Δm=1,σ=1.
+	if got := GaussianSymKL(0, 1, 1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("GaussianSymKL = %v, want 0.5", got)
+	}
+}
+
+func TestGridKLMatchesGaussianOracle(t *testing.T) {
+	// KDE-on-grid estimator should approach the closed-form KL for large,
+	// well-separated-but-overlapping Gaussian samples.
+	r := rng.New(9)
+	n := 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(0, 1)
+		ys[i] = r.Normal(0.5, 1)
+	}
+	ex := kde.MustNew(xs, kde.Gaussian, kde.Silverman)
+	ey := kde.MustNew(ys, kde.Gaussian, kde.Silverman)
+	grid := stat.Linspace(-5, 5.5, 1024)
+	px, err := ex.GridPMF(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	py, err := ey.GridPMF(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SymKL(px, py)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GaussianSymKL(0, 1, 0.5, 1)
+	// KDE smoothing biases KL downward slightly; accept 30% relative error.
+	if math.Abs(got-want)/want > 0.3 {
+		t.Errorf("grid SymKL = %v, oracle %v", got, want)
+	}
+}
+
+func TestKNNKLMatchesGaussianOracle(t *testing.T) {
+	r := rng.New(10)
+	n := 8000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(0, 1)
+		ys[i] = r.Normal(1, 1)
+	}
+	got, err := KNNSymKL(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GaussianSymKL(0, 1, 1, 1) // = 1.0
+	if math.Abs(got-want) > 0.25 {
+		t.Errorf("kNN SymKL = %v, oracle %v", got, want)
+	}
+}
+
+func TestKNNKLErrors(t *testing.T) {
+	if _, err := KNNKL([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("too-small P sample accepted")
+	}
+	if _, err := KNNKL([]float64{1, 2}, nil); err == nil {
+		t.Error("empty Q sample accepted")
+	}
+}
+
+func TestKNNKLDuplicatePointsFinite(t *testing.T) {
+	// Failure injection: duplicate points give zero NN distances; the
+	// estimator must stay finite via its internal tiny-distance clamp.
+	p := []float64{1, 1, 1, 2, 2}
+	q := []float64{1, 1, 3}
+	d, err := KNNKL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("duplicate-point kNN KL = %v", d)
+	}
+}

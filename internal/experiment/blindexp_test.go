@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationBlindShape(t *testing.T) {
+	tbl, err := AblationBlind(quickSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (none, oracle, 4 blind methods)", len(tbl.Rows))
+	}
+	byLabel := map[string][]Cell{}
+	for _, row := range tbl.Rows {
+		byLabel[row.Label] = row.Cells
+	}
+	none := byLabel["None"][0].Mean
+	oracle := byLabel["Labelled (oracle)"][0].Mean
+	hard := byLabel["Blind: hard (MAP ŝ, QDA)"][0].Mean
+	pooled := byLabel["Blind: pooled (group-blind transport)"][0].Mean
+	if !(oracle < hard) {
+		t.Errorf("oracle E %v must beat blind-hard %v", oracle, hard)
+	}
+	if !(hard < none) {
+		t.Errorf("blind-hard E %v must beat no repair %v", hard, none)
+	}
+	if !(pooled <= none*1.05) {
+		t.Errorf("pooled E %v must not exceed unrepaired %v", pooled, none)
+	}
+	// Pooled moves every point by a common map, so it damages the least.
+	oracleDmg := byLabel["Labelled (oracle)"][1].Mean
+	pooledDmg := byLabel["Blind: pooled (group-blind transport)"][1].Mean
+	if !(pooledDmg < oracleDmg) {
+		t.Errorf("pooled damage %v must undercut oracle damage %v", pooledDmg, oracleDmg)
+	}
+
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X7") {
+		t.Error("rendered table must carry the experiment id")
+	}
+}
+
+func TestAblationBlindSeparationShape(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 3
+	fig, err := AblationBlindSeparation(cfg, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	series := map[string]Series{}
+	for _, s := range fig.Series {
+		series[s.Name] = s
+		if len(s.X) != 2 || len(s.Y) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, len(s.X))
+		}
+	}
+	// At wide separation the posterior is sharp: blind-hard must approach
+	// the oracle (within 3×) while pooled stays near the unrepaired level.
+	oracle := series["labelled (oracle)"].Y[1]
+	hard := series["blind: hard"].Y[1]
+	pooled := series["blind: pooled"].Y[1]
+	none := series["unrepaired"].Y[1]
+	if hard > 3*oracle+0.05 {
+		t.Errorf("separated: blind-hard %v should approach oracle %v", hard, oracle)
+	}
+	if pooled < none/3 {
+		t.Errorf("separated: pooled %v should stay near unrepaired %v (a common map cannot split the mixture)", pooled, none)
+	}
+
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X7b") {
+		t.Error("rendered figure must carry the experiment id")
+	}
+}

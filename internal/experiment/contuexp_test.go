@@ -1,0 +1,40 @@
+package experiment
+
+import "testing"
+
+func TestAblationContinuousUShape(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 3
+	fig, err := AblationContinuousU(cfg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+		if len(s.X) != 2 {
+			t.Fatalf("series %q has %d points", s.Name, len(s.X))
+		}
+	}
+	none := byName["unrepaired"]
+	hard := byName["repaired (hard bins)"]
+	// Any repair beats none.
+	for i := range hard.Y {
+		if hard.Y[i] >= none.Y[i] {
+			t.Errorf("B=%v: repaired %v not below unrepaired %v", hard.X[i], hard.Y[i], none.Y[i])
+		}
+	}
+	// Conditioning on u (B=4) must beat ignoring it (B=1): the scenario's
+	// s-shift varies with u by construction.
+	if hard.Y[1] >= hard.Y[0] {
+		t.Errorf("B=4 residual %v not below B=1 residual %v", hard.Y[1], hard.Y[0])
+	}
+	// With B=1 there is nothing to blend: both repaired series coincide.
+	blended := byName["repaired (blended bins)"]
+	if blended.Y[0] != hard.Y[0] {
+		t.Errorf("B=1: blended %v differs from hard %v", blended.Y[0], hard.Y[0])
+	}
+}

@@ -1,0 +1,404 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"otfair/internal/fairmetrics"
+	"otfair/internal/rng"
+)
+
+// quickSim keeps test runtimes small while exercising the full pipeline.
+func quickSim() SimConfig {
+	return SimConfig{NR: 200, NA: 800, NQ: 30, Reps: 4, Seed: 11}
+}
+
+func quickAdult() AdultConfig {
+	// Group sizes must stay large enough that the floored-histogram E
+	// estimator's sparsity bias does not mask the repair (see EXPERIMENTS.md);
+	// these are ~40% of the paper's sizes.
+	return AdultConfig{NR: 4000, NA: 9000, NQ: 100, Reps: 2, Seed: 11}
+}
+
+func TestRunMCAggregates(t *testing.T) {
+	stats, err := RunMC(10, 4, 3, func(rep int, r *rng.RNG) (map[string]float64, error) {
+		return map[string]float64{"v": float64(rep)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["v"].N != 10 || math.Abs(stats["v"].Mean-4.5) > 1e-12 {
+		t.Errorf("stats = %+v", stats["v"])
+	}
+}
+
+func TestRunMCDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(rep int, r *rng.RNG) (map[string]float64, error) {
+		return map[string]float64{"x": r.Float64()}, nil
+	}
+	a, err := RunMC(8, 1, 42, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMC(8, 8, 42, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["x"].Mean != b["x"].Mean || a["x"].Std != b["x"].Std {
+		t.Errorf("parallel aggregation differs: %+v vs %+v", a["x"], b["x"])
+	}
+}
+
+func TestRunMCPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := RunMC(4, 2, 1, func(rep int, r *rng.RNG) (map[string]float64, error) {
+		if rep == 2 {
+			return nil, boom
+		}
+		return map[string]float64{"v": 1}, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "replicate 2") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RunMC(0, 1, 1, nil); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	tbl, err := TableI(quickSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Paper shape contract: repaired << unrepaired on both splits; archive
+	// repair weaker than research repair; geometric on-sample best or
+	// comparable; geometric archive cells are N/A.
+	none := tbl.Rows[0].Cells
+	dist := tbl.Rows[1].Cells
+	geo := tbl.Rows[2].Cells
+	for k := 0; k < 2; k++ {
+		if dist[k].Mean > none[k].Mean/3 {
+			t.Errorf("research k=%d: repaired %v vs unrepaired %v", k, dist[k].Mean, none[k].Mean)
+		}
+		if dist[k+2].Mean > none[k+2].Mean/2 {
+			t.Errorf("archive k=%d: repaired %v vs unrepaired %v", k, dist[k+2].Mean, none[k+2].Mean)
+		}
+		if !geo[k+2].NA {
+			t.Error("geometric archive cell not N/A")
+		}
+		if geo[k].Mean > none[k].Mean/3 {
+			t.Errorf("geometric k=%d too weak: %v vs %v", k, geo[k].Mean, none[k].Mean)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Distributional (ours)") || !strings.Contains(out, "-") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestTableIHistogramEstimatorMagnitude(t *testing.T) {
+	// The floored-histogram estimator mode lands unrepaired research E in
+	// the paper's printed magnitude regime (Table I reports ≈ 7.5).
+	cfg := quickSim()
+	cfg.NR = 500
+	cfg.NA = 1000
+	cfg.Reps = 3
+	cfg.Metric = fairmetrics.Config{Estimator: fairmetrics.EstimatorHistogram}
+	cfg.MetricSet = true
+	tbl, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := tbl.Rows[0].Cells[0].Mean
+	if e1 < 2 || e1 > 20 {
+		t.Errorf("unrepaired research E1 = %v, want paper-scale", e1)
+	}
+}
+
+func TestTableIRatiosMatchPaperShape(t *testing.T) {
+	// Paper ratio contract at the reference setting: distributional repair
+	// cuts research E by well over 5x; repaired archive sits above repaired
+	// research; geometric is the strongest on-sample.
+	cfg := SimConfig{NR: 500, NA: 2000, NQ: 50, Reps: 4, Seed: 3}
+	tbl, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := tbl.Rows[0].Cells
+	dist := tbl.Rows[1].Cells
+	geo := tbl.Rows[2].Cells
+	for k := 0; k < 2; k++ {
+		if none[k].Mean < 5*dist[k].Mean {
+			t.Errorf("k=%d: research reduction only %vx", k, none[k].Mean/dist[k].Mean)
+		}
+		if dist[k+2].Mean < dist[k].Mean {
+			t.Errorf("k=%d: archive E %v below research %v after repair", k, dist[k+2].Mean, dist[k].Mean)
+		}
+		if geo[k].Mean > dist[k].Mean {
+			t.Errorf("k=%d: geometric %v not at least as strong as distributional %v", k, geo[k].Mean, dist[k].Mean)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 3
+	fig, err := Figure3(cfg, []int{50, 200, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	research := fig.Series[0]
+	archive := fig.Series[1]
+	unrepaired := fig.Series[2]
+	if len(research.Y) != 3 {
+		t.Fatalf("points = %d", len(research.Y))
+	}
+	// Shape: repaired curves decline with nR (first > last), archive above
+	// research at convergence, both far below unrepaired.
+	last := len(research.Y) - 1
+	if research.Y[last] >= research.Y[0] {
+		t.Errorf("research E did not fall with nR: %v", research.Y)
+	}
+	if archive.Y[last] < research.Y[last] {
+		t.Errorf("archive E %v below research %v at max nR", archive.Y[last], research.Y[last])
+	}
+	if archive.Y[last] > unrepaired.Y[last]/2 {
+		t.Errorf("archive E %v not well below unrepaired %v", archive.Y[last], unrepaired.Y[last])
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "archive (repaired)") {
+		t.Error("render missing series")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	cfg := quickSim()
+	// nQ must stay well below the rarest research group size (the paper's
+	// nQ ≪ nR regime); the sweep needs the paper's nR, not the quick one.
+	cfg.NR = 500
+	cfg.NA = 1500
+	cfg.Reps = 3
+	fig, err := Figure4(cfg, []int{5, 20, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	s := fig.Series[0]
+	if len(s.Y) != 3 {
+		t.Fatalf("points = %d", len(s.Y))
+	}
+	// With a consistent estimator the repaired composite E is already
+	// converged at small nQ and stays statistically flat and low (the
+	// paper's "invariant above threshold" regime).
+	for i, e := range s.Y {
+		if e > 0.3 {
+			t.Errorf("point %d: composite E = %v, want converged low value", i, e)
+		}
+	}
+	// The nQ cost shows in quantization damage, which falls monotonically.
+	dmg := fig.Series[1]
+	if dmg.Y[len(dmg.Y)-1] >= dmg.Y[0] {
+		t.Errorf("damage did not fall with nQ: %v", dmg.Y)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	tbl, err := TableII(quickAdult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := tbl.Rows[0].Cells
+	dist := tbl.Rows[1].Cells
+	// Hours at least as separated as age before repair (paper ordering,
+	// with slack for estimator noise).
+	if none[1].Mean < 0.8*none[0].Mean {
+		t.Errorf("unrepaired hours E %v well below age E %v", none[1].Mean, none[0].Mean)
+	}
+	// Repair reduces every column.
+	for j := 0; j < 4; j++ {
+		if dist[j].Mean >= none[j].Mean {
+			t.Errorf("column %d not reduced: %v vs %v", j, dist[j].Mean, none[j].Mean)
+		}
+	}
+	if !tbl.Rows[2].Cells[2].NA {
+		t.Error("geometric archive cell not N/A")
+	}
+}
+
+func TestDownstreamImprovesDI(t *testing.T) {
+	tbl, err := Downstream(quickAdult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrepaired := tbl.Rows[0].Cells
+	repaired := tbl.Rows[1].Cells
+	// DI moves towards 1 for both u groups after repair.
+	for j := 1; j <= 2; j++ {
+		before := unrepaired[j].Mean
+		after := repaired[j].Mean
+		if math.Abs(after-1) > math.Abs(before-1)+0.02 {
+			t.Errorf("DI column %d worsened: %v -> %v", j, before, after)
+		}
+	}
+	// Accuracy does not collapse (repair trades a few points at most here).
+	if repaired[0].Mean < unrepaired[0].Mean-0.15 {
+		t.Errorf("accuracy collapsed: %v -> %v", unrepaired[0].Mean, repaired[0].Mean)
+	}
+}
+
+func TestLabelEstimationTable(t *testing.T) {
+	tbl, err := LabelEstimation(quickAdult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrepaired := tbl.Rows[0].Cells[0].Mean
+	trueLabels := tbl.Rows[1].Cells[0].Mean
+	estLabels := tbl.Rows[2].Cells[0].Mean
+	acc := tbl.Rows[2].Cells[1].Mean
+	if trueLabels >= unrepaired {
+		t.Errorf("true-label repair did not reduce E: %v vs %v", trueLabels, unrepaired)
+	}
+	// The Adult gender groups overlap heavily in (age, hours), so GMM-EM
+	// label recovery is weak (near chance) — that is the experiment's
+	// finding; the repair with such labels must at least not inflate
+	// dependence catastrophically.
+	if acc <= 0.2 || acc > 1 {
+		t.Errorf("label accuracy = %v", acc)
+	}
+	if estLabels > unrepaired*1.5 {
+		t.Errorf("estimated-label repair blew up E: %v vs unrepaired %v", estLabels, unrepaired)
+	}
+}
+
+func TestAblationSolver(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 2
+	cfg.NQ = 20
+	tbl, err := AblationSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if !(row.Cells[0].Mean > 0) || !(row.Cells[1].Mean > 0) {
+			t.Errorf("row %s has empty cells: %+v", row.Label, row.Cells)
+		}
+	}
+}
+
+func TestAblationPartial(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 2
+	fig, err := AblationPartial(cfg, []float64{0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fig.Series[0]
+	dmg := fig.Series[1]
+	if e.Y[1] >= e.Y[0] {
+		t.Errorf("full repair E %v not below partial %v", e.Y[1], e.Y[0])
+	}
+	if dmg.Y[1] <= dmg.Y[0] {
+		t.Errorf("full repair damage %v not above partial %v", dmg.Y[1], dmg.Y[0])
+	}
+}
+
+func TestAblationQuantile(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 2
+	tbl, err := AblationQuantile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := tbl.Rows[0].Cells[0].Mean
+	dist := tbl.Rows[1].Cells[0].Mean
+	quant := tbl.Rows[2].Cells[0].Mean
+	if dist >= none || quant >= none {
+		t.Errorf("repairs did not reduce E: none=%v dist=%v quant=%v", none, dist, quant)
+	}
+	if !(tbl.Rows[1].Cells[1].Mean > 0) || !(tbl.Rows[2].Cells[1].Mean > 0) {
+		t.Error("damage cells empty")
+	}
+}
+
+func TestAblationDrift(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 2
+	fig, err := AblationDrift(cfg, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := fig.Series[0]
+	if len(repaired.Y) != 2 {
+		t.Fatalf("points = %d", len(repaired.Y))
+	}
+	// Stationarity violation degrades the repair: E at drift 2 above drift 0.
+	if repaired.Y[1] <= repaired.Y[0] {
+		t.Errorf("drift did not degrade repair: %v", repaired.Y)
+	}
+}
+
+func TestCellRendering(t *testing.T) {
+	if got := NACell().String(); got != "-" {
+		t.Errorf("NA = %q", got)
+	}
+	c := Cell{Mean: 1.5}
+	if got := c.String(); got != "1.5000" {
+		t.Errorf("plain = %q", got)
+	}
+	c = Cell{Mean: 1.5, Std: 0.25, HasStd: true}
+	if got := c.String(); got != "1.5000 ± 0.2500" {
+		t.Errorf("spread = %q", got)
+	}
+}
+
+func TestFigureRenderEmptySeries(t *testing.T) {
+	fig := &Figure{Title: "empty", XLabel: "x", YLabel: "y"}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricOverride(t *testing.T) {
+	cfg := quickSim()
+	cfg.Metric = fairmetrics.Config{Estimator: fairmetrics.EstimatorKDE}
+	cfg.MetricSet = true
+	cfg.Reps = 2
+	tbl, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KDE estimator: unrepaired research E ≈ 0.5, not paper-scale 7.
+	if tbl.Rows[0].Cells[0].Mean > 2 {
+		t.Errorf("KDE-mode E = %v, expected ≈ 0.5", tbl.Rows[0].Cells[0].Mean)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]CellStat{"b": {}, "a": {}, "c": {}}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("keys = %v", keys)
+	}
+}

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+func TestAblationIndividualShape(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 3
+	fig, err := AblationIndividual(cfg, []int{5, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+	}
+	disp := byName["dispersion (Kantorovich)"]
+	com := byName["comonotonicity (Kantorovich)"]
+	// Brenier direction: dispersion falls, order preservation rises with nQ.
+	if disp.Y[1] >= disp.Y[0] {
+		t.Errorf("dispersion did not fall with nQ: %v → %v", disp.Y[0], disp.Y[1])
+	}
+	if com.Y[1] <= com.Y[0] {
+		t.Errorf("comonotonicity did not rise with nQ: %v → %v", com.Y[0], com.Y[1])
+	}
+	// The Monge reference is flat in nQ and bounds the stochastic repair.
+	dq := byName["dispersion (quantile/Monge ref)"]
+	if dq.Y[0] > disp.Y[0] {
+		t.Errorf("Monge dispersion %v above Kantorovich %v at coarse nQ", dq.Y[0], disp.Y[0])
+	}
+	cq := byName["comonotonicity (quantile/Monge ref)"]
+	for i, v := range cq.Y {
+		if v < 0.95 {
+			t.Errorf("Monge comonotonicity[%d] = %v, want ≈ 1", i, v)
+		}
+	}
+}

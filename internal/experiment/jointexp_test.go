@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestAblationJointShape(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 2
+	tbl, err := AblationJoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 scenarios × 3 repairs)", len(tbl.Rows))
+	}
+	byLabel := map[string][]Cell{}
+	for _, row := range tbl.Rows {
+		byLabel[row.Label] = row.Cells
+	}
+	// Structure-only scenario: the per-feature repair must leave the
+	// joint dependence intact while the joint repair quenches it.
+	noneEJ := byLabel["Structure-only (ρ = ±0.8) — none"][1].Mean
+	marginalEJ := byLabel["Structure-only (ρ = ±0.8) — per-feature"][1].Mean
+	jointEJ := byLabel["Structure-only (ρ = ±0.8) — joint"][1].Mean
+	if marginalEJ < noneEJ/2 {
+		t.Errorf("per-feature repair reduced structure-only EJoint %v → %v; it should be blind to it", noneEJ, marginalEJ)
+	}
+	if jointEJ > noneEJ/3 {
+		t.Errorf("joint repair left EJoint %v of %v", jointEJ, noneEJ)
+	}
+	// Correlation gap mirrors the same split.
+	noneGap := byLabel["Structure-only (ρ = ±0.8) — none"][2].Mean
+	jointGap := byLabel["Structure-only (ρ = ±0.8) — joint"][2].Mean
+	if jointGap > noneGap/2 {
+		t.Errorf("joint repair left correlation gap %v of %v", jointGap, noneGap)
+	}
+	// Paper scenario: both repairs quench the per-feature E.
+	nonePaperE := byLabel["Paper §V-A (mean shift) — none"][0].Mean
+	for _, label := range []string{"Paper §V-A (mean shift) — per-feature", "Paper §V-A (mean shift) — joint"} {
+		if got := byLabel[label][0].Mean; got > nonePaperE/2 {
+			t.Errorf("%s: E %v of %v, want a clear reduction", label, got, nonePaperE)
+		}
+	}
+	// The joint design must cost materially more than the per-feature one —
+	// the curse of dimensionality the paper's stratification avoids.
+	marginalMS := byLabel["Paper §V-A (mean shift) — per-feature"][4].Mean
+	jointMS := byLabel["Paper §V-A (mean shift) — joint"][4].Mean
+	if jointMS < 10*marginalMS {
+		t.Errorf("joint design (%v ms) unexpectedly cheap vs per-feature (%v ms)", jointMS, marginalMS)
+	}
+}

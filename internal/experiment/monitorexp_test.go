@@ -1,0 +1,51 @@
+package experiment
+
+import "testing"
+
+func TestAblationMonitorShape(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 2
+	tbl, err := AblationMonitor(cfg, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	quiet := tbl.Rows[0].Cells[0].Mean
+	loud := tbl.Rows[1].Cells[0].Mean
+	if quiet != 0 {
+		t.Errorf("drift 0 detection rate = %v, want 0 (false alarms)", quiet)
+	}
+	if loud != 1 {
+		t.Errorf("drift 2σ detection rate = %v, want 1", loud)
+	}
+	if tbl.Rows[0].Cells[1].NA != true {
+		t.Error("undetected row must render first-alarm as N/A")
+	}
+	if tbl.Rows[1].Cells[2].Mean <= 0 {
+		t.Error("detected drift must produce alarms")
+	}
+}
+
+func TestAblationStoppingShape(t *testing.T) {
+	cfg := quickSim()
+	cfg.Reps = 2
+	tbl, err := AblationStopping(cfg, []float64{0.15, 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	loose := tbl.Rows[0].Cells[0].Mean
+	tight := tbl.Rows[1].Cells[0].Mean
+	if loose > tight {
+		t.Errorf("loose tolerance stopped later (%v) than tight (%v)", loose, tight)
+	}
+	for i, row := range tbl.Rows {
+		if row.Cells[1].Mean != 1 {
+			t.Errorf("row %d: convergence rate %v, want 1 on a 3000-record pool", i, row.Cells[1].Mean)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Cell is one rendered table entry, optionally carrying a ± spread.
+type Cell struct {
+	Mean   float64
+	Std    float64
+	HasStd bool
+	// NA renders as "-" (e.g. geometric repair on archive data, which is
+	// undefined — the dash in the paper's tables).
+	NA bool
+}
+
+// NACell is the undefined-entry marker.
+func NACell() Cell { return Cell{NA: true} }
+
+// FromStat converts an aggregated measurement into a cell.
+func FromStat(cs CellStat) Cell {
+	return Cell{Mean: cs.Mean, Std: cs.Std, HasStd: cs.N > 1}
+}
+
+// String renders the cell as "m ± s", "m", or "-".
+func (c Cell) String() string {
+	if c.NA {
+		return "-"
+	}
+	if c.HasStd {
+		return fmt.Sprintf("%.4f ± %.4f", c.Mean, c.Std)
+	}
+	return fmt.Sprintf("%.4f", c.Mean)
+}
+
+// Row is one labelled table row.
+type Row struct {
+	Label string
+	Cells []Cell
+}
+
+// Table is a rendered experiment artefact mirroring one paper table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string // len = 1 (row label column) + number of cells
+	Rows   []Row
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	cols := len(t.Header)
+	widths := make([]int, cols)
+	for j, h := range t.Header {
+		widths[j] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, row := range t.Rows {
+		cells[i] = make([]string, cols)
+		cells[i][0] = row.Label
+		if len(row.Label) > widths[0] {
+			widths[0] = len(row.Label)
+		}
+		for j, c := range row.Cells {
+			s := c.String()
+			cells[i][j+1] = s
+			if j+1 < cols && len(s) > widths[j+1] {
+				widths[j+1] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) string {
+		var b strings.Builder
+		for j, p := range parts {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(p)
+			for pad := len(p); pad < widths[j]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range cells {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Err  []float64 // optional ± column, may be nil
+}
+
+// Figure is a rendered experiment artefact mirroring one paper figure:
+// the numeric series plus an ASCII sketch.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the series values as aligned columns followed by an ASCII
+// chart of the curves.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "\nseries: %s\n", s.Name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %12s  %12s", f.XLabel, f.YLabel); err != nil {
+			return err
+		}
+		if s.Err != nil {
+			if _, err := fmt.Fprintf(w, "  %12s", "±"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "  %12.4g  %12.6g", s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+			if s.Err != nil {
+				if _, err := fmt.Fprintf(w, "  %12.6g", s.Err[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return f.renderASCII(w)
+}
+
+// renderASCII sketches all series on one 60×16 grid, marking each series
+// with a distinct rune.
+func (f *Figure) renderASCII(w io.Writer) error {
+	const width, height = 64, 16
+	marks := []byte{'*', 'o', '+', 'x', '#'}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !(maxX > minX) || math.IsInf(minX, 0) {
+		return nil // nothing plottable
+	}
+	if !(maxY > minY) {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n%s vs %s  [y: %.3g .. %.3g]\n", f.YLabel, f.XLabel, minY, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "  |%s\n", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(f.Series))
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[si%len(marks)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "   x: %.4g .. %.4g   %s\n", minX, maxX, strings.Join(legend, "   "))
+	return err
+}

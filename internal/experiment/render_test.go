@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Note:   "note",
+		Header: []string{"Row", "A", "B"},
+		Rows: []Row{
+			{Label: "first", Cells: []Cell{{Mean: 1}, {Mean: 2.5, Std: 0.5, HasStd: true}}},
+			{Label: "second longer label", Cells: []Cell{NACell(), {Mean: 3}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, note, header, rule, 2 rows -> 6? title+note+header+rule+2
+		if len(lines) != 6 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "2.5000 ± 0.5000") {
+		t.Errorf("spread cell missing:\n%s", out)
+	}
+	if !strings.Contains(out, "second longer label") {
+		t.Errorf("label missing:\n%s", out)
+	}
+	// Header columns align with row columns: the rule line must be at least
+	// as wide as the longest row.
+	var ruleLen, maxLen int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "---") {
+			ruleLen = len(l)
+		}
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	if ruleLen == 0 {
+		t.Error("no rule line")
+	}
+}
+
+func TestFigureRenderSinglePoint(t *testing.T) {
+	fig := &Figure{
+		Title:  "single",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}},
+	}
+	var buf bytes.Buffer
+	// Single x value: no plottable span; numeric block still renders.
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "series: s") {
+		t.Error("series header missing")
+	}
+}
+
+func TestFigureRenderConstantY(t *testing.T) {
+	fig := &Figure{
+		Title:  "flat",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+--") {
+		t.Error("ASCII frame missing for constant series")
+	}
+}
+
+func TestFigureRenderManySeriesMarks(t *testing.T) {
+	fig := &Figure{Title: "m", XLabel: "x", YLabel: "y"}
+	for i := 0; i < 6; i++ {
+		fig.Series = append(fig.Series, Series{
+			Name: string(rune('a' + i)),
+			X:    []float64{0, 1},
+			Y:    []float64{float64(i), float64(i + 1)},
+		})
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Marks cycle after 5 series; legend must list all six names.
+	for i := 0; i < 6; i++ {
+		if !strings.Contains(buf.String(), string(rune('a'+i))) {
+			t.Errorf("legend missing series %c", 'a'+i)
+		}
+	}
+}
+
+func TestFromStat(t *testing.T) {
+	c := FromStat(CellStat{Mean: 2, Std: 0.1, N: 5})
+	if !c.HasStd || c.Mean != 2 {
+		t.Errorf("FromStat = %+v", c)
+	}
+	single := FromStat(CellStat{Mean: 2, N: 1})
+	if single.HasStd {
+		t.Error("single-replicate cell claims a spread")
+	}
+}

@@ -1,0 +1,37 @@
+package experiment
+
+import "testing"
+
+func TestAblationTargetShape(t *testing.T) {
+	tbl, err := AblationTarget(quickSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	byLabel := map[string][]Cell{}
+	for _, row := range tbl.Rows {
+		byLabel[row.Label] = row.Cells
+	}
+	none := byLabel["None"][0].Mean
+	for _, label := range []string{"W2 barycenter (paper)", "Mixture (vertical average)", "Gaussian (moment-matched)"} {
+		cells := byLabel[label]
+		if cells[0].Mean >= none/2 {
+			t.Errorf("%s: E %v of unrepaired %v, want a clear reduction", label, cells[0].Mean, none)
+		}
+		if cells[1].Mean <= 0 {
+			t.Errorf("%s: non-positive damage %v", label, cells[1].Mean)
+		}
+		if cells[2].Mean <= 0 {
+			t.Errorf("%s: non-positive transport cost %v", label, cells[2].Mean)
+		}
+	}
+	// The barycenter is the minimal-transport target by construction.
+	bary := byLabel["W2 barycenter (paper)"][2].Mean
+	for _, label := range []string{"Mixture (vertical average)", "Gaussian (moment-matched)"} {
+		if byLabel[label][2].Mean < bary*0.98 {
+			t.Errorf("%s: transport cost %v undercuts the barycenter %v", label, byLabel[label][2].Mean, bary)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package fairmetrics
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/divergence"
+	"otfair/internal/rng"
+	"otfair/internal/simulate"
+)
+
+func TestComputeOnPaperScenario(t *testing.T) {
+	s, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	tbl, err := s.Table(r, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFeature) != 2 {
+		t.Fatalf("per-feature = %v", res.PerFeature)
+	}
+	// The true symmetrized KL for the scenario is 0.5 per feature
+	// (unit-variance normals one mean apart in each u-group); the KDE
+	// estimator should land near it.
+	for k, e := range res.PerFeature {
+		if e < 0.3 || e > 0.8 {
+			t.Errorf("feature %d E = %v, want ≈ 0.5", k, e)
+		}
+	}
+	if math.Abs(res.Aggregate-(res.PerFeature[0]+res.PerFeature[1])/2) > 1e-12 {
+		t.Errorf("aggregate %v is not the feature mean of %v", res.Aggregate, res.PerFeature)
+	}
+	if len(res.Details) != 4 {
+		t.Errorf("details = %d cells, want 4", len(res.Details))
+	}
+	wsum := 0.0
+	for _, d := range res.Details {
+		if d.EU < 0 {
+			t.Errorf("negative E_u: %+v", d)
+		}
+		if d.Feature == 0 {
+			wsum += d.WeightU
+		}
+	}
+	if math.Abs(wsum-1) > 1e-12 {
+		t.Errorf("u-weights sum to %v", wsum)
+	}
+}
+
+func TestHistogramEstimatorPaperScale(t *testing.T) {
+	// The histogram estimator with floored empty bins reproduces the
+	// magnitude regime of the paper's Table I (unrepaired E ≈ 6–8 at
+	// research-set sizes).
+	s, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.Table(rng.New(6), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(tbl, Config{Estimator: EstimatorHistogram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, e := range res.PerFeature {
+		if e < 2 || e > 20 {
+			t.Errorf("histogram feature %d E = %v, want paper-scale (2..20)", k, e)
+		}
+	}
+	// KDE estimate on the same data must be far smaller.
+	kdeRes, err := Compute(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kdeRes.Aggregate >= res.Aggregate {
+		t.Errorf("KDE E %v not below histogram E %v", kdeRes.Aggregate, res.Aggregate)
+	}
+}
+
+func TestEstimatorString(t *testing.T) {
+	if EstimatorKDE.String() != "kde" || EstimatorHistogram.String() != "histogram" {
+		t.Error("estimator names wrong")
+	}
+}
+
+func TestEZeroWhenConditionalsIdentical(t *testing.T) {
+	// s assigned independently of x within each u: E should be near zero.
+	r := rng.New(2)
+	tbl := dataset.MustTable(1, nil)
+	for i := 0; i < 4000; i++ {
+		u := i % 2
+		s := 0
+		if r.Bernoulli(0.5) {
+			s = 1
+		}
+		x := r.Normal(float64(u)*3, 1) // depends on u only
+		if err := tbl.Append(dataset.Record{X: []float64{x}, S: s, U: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := E(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.1 {
+		t.Errorf("independent data E = %v, want ~0", e)
+	}
+}
+
+func TestEDetectsSingleUnfairGroup(t *testing.T) {
+	// Dependence only in u=1: the u=1 detail cells must dominate.
+	r := rng.New(3)
+	tbl := dataset.MustTable(1, nil)
+	for i := 0; i < 6000; i++ {
+		u := i % 2
+		s := 0
+		if r.Bernoulli(0.5) {
+			s = 1
+		}
+		mean := 0.0
+		if u == 1 && s == 1 {
+			mean = 2
+		}
+		if err := tbl.Append(dataset.Record{X: []float64{r.Normal(mean, 1)}, S: s, U: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Compute(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e0, e1 float64
+	for _, d := range res.Details {
+		if d.U == 0 {
+			e0 = d.EU
+		} else {
+			e1 = d.EU
+		}
+	}
+	if e1 < 5*e0 || e1 < 0.5 {
+		t.Errorf("E_u0 = %v, E_u1 = %v: unfair group not isolated", e0, e1)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, Config{}); err == nil {
+		t.Error("nil table accepted")
+	}
+	empty := dataset.MustTable(1, nil)
+	if _, err := Compute(empty, Config{}); err == nil {
+		t.Error("empty table accepted")
+	}
+	// Missing s-class within a u-population.
+	oneClass := dataset.MustTable(1, nil)
+	for i := 0; i < 10; i++ {
+		oneClass.Append(dataset.Record{X: []float64{float64(i)}, S: 0, U: 0})
+	}
+	if _, err := Compute(oneClass, Config{}); err == nil {
+		t.Error("single-class population accepted")
+	}
+	// Only unlabelled records.
+	unl := dataset.MustTable(1, nil)
+	unl.Append(dataset.Record{X: []float64{1}, S: dataset.SUnknown, U: 0})
+	if _, err := Compute(unl, Config{}); err == nil {
+		t.Error("fully unlabelled table accepted")
+	}
+}
+
+func TestComputeIgnoresUnlabelled(t *testing.T) {
+	r := rng.New(4)
+	tbl := dataset.MustTable(1, nil)
+	for i := 0; i < 2000; i++ {
+		s := i % 2
+		tbl.Append(dataset.Record{X: []float64{r.Normal(float64(s), 1)}, S: s, U: 0})
+	}
+	withNoise := tbl.Clone()
+	// Adding unlabelled junk must not change the metric.
+	for i := 0; i < 500; i++ {
+		withNoise.Append(dataset.Record{X: []float64{r.Uniform(-100, 100)}, S: dataset.SUnknown, U: 0})
+	}
+	// Both-u requirement: metric runs with only u=0 present.
+	e1, err := E(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := E(withNoise, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1-e2) > 1e-9 {
+		t.Errorf("unlabelled records changed E: %v vs %v", e1, e2)
+	}
+}
+
+func TestEDegenerateFeatureIsZero(t *testing.T) {
+	// A constant feature column carries no dependence.
+	tbl := dataset.MustTable(1, nil)
+	for i := 0; i < 100; i++ {
+		tbl.Append(dataset.Record{X: []float64{5}, S: i % 2, U: 0})
+	}
+	e, err := E(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("constant-feature E = %v", e)
+	}
+}
+
+func TestConfigKnobsChangeEstimate(t *testing.T) {
+	s, _ := simulate.NewSampler(simulate.Paper())
+	tbl, _ := s.Table(rng.New(5), 2000)
+	loose, err := E(tbl, Config{Floor: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := E(tbl, Config{Floor: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tighter floor exposes more tail mismatch, so the estimate grows.
+	if tight <= loose {
+		t.Errorf("floor 1e-15 E = %v not above floor 1e-3 E = %v", tight, loose)
+	}
+}
+
+func TestMMDPerFeatureAgreesWithE(t *testing.T) {
+	// The MMD cross-check must agree with E about which data set is fairer.
+	s, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(21)
+	unfair, err := s.Table(r, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fair table: s assigned independently of x.
+	fair := dataset.MustTable(2, nil)
+	for i := 0; i < 2000; i++ {
+		u := i % 2
+		sLabel := 0
+		if r.Bernoulli(0.5) {
+			sLabel = 1
+		}
+		fair.Append(dataset.Record{X: []float64{r.Norm(), r.Norm()}, S: sLabel, U: u})
+	}
+	mUnfair, err := MMDPerFeature(unfair, divergence.MMDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFair, err := MMDPerFeature(fair, divergence.MMDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if mUnfair[k] < 5*mFair[k] {
+			t.Errorf("feature %d: MMD unfair %v vs fair %v — weak separation", k, mUnfair[k], mFair[k])
+		}
+	}
+}
+
+func TestMMDPerFeatureValidation(t *testing.T) {
+	if _, err := MMDPerFeature(nil, divergence.MMDOptions{}); err == nil {
+		t.Error("nil table accepted")
+	}
+	small := dataset.MustTable(1, nil)
+	small.Append(dataset.Record{X: []float64{1}, S: 0, U: 0})
+	small.Append(dataset.Record{X: []float64{2}, S: 1, U: 0})
+	if _, err := MMDPerFeature(small, divergence.MMDOptions{}); err == nil {
+		t.Error("too-small groups accepted")
+	}
+}
+
+func TestDamage(t *testing.T) {
+	a := dataset.MustTable(2, nil)
+	b := dataset.MustTable(2, nil)
+	a.Append(dataset.Record{X: []float64{0, 0}, S: 0, U: 0})
+	b.Append(dataset.Record{X: []float64{3, 4}, S: 0, U: 0})
+	d, err := Damage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-25) > 1e-12 {
+		t.Errorf("damage = %v, want 25", d)
+	}
+	if _, err := Damage(a, dataset.MustTable(1, nil)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := Damage(nil, b); err == nil {
+		t.Error("nil table accepted")
+	}
+	same, _ := Damage(a, a)
+	if same != 0 {
+		t.Errorf("self damage = %v", same)
+	}
+}

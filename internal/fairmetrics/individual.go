@@ -1,0 +1,133 @@
+package fairmetrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"otfair/internal/dataset"
+	"otfair/internal/stat"
+)
+
+// Individual-fairness diagnostics for repairs, after Section VI of the
+// paper: Kantorovich plans split mass, so two feature-identical records can
+// be repaired differently; Monge maps are functions, so "feature-similar
+// points are repaired similarly". Brenier's theorem says the Kantorovich
+// plan converges to a Monge map as n_Q → ∞ — RepairDispersion and
+// Comonotonicity make that convergence measurable (ablation X11).
+
+// RepairDispersion quantifies how differently near-identical inputs are
+// repaired: per (u,s) group and feature, the inputs are sorted and sliced
+// into equal-count bins, and the standard deviation of the repaired values
+// within each narrow input bin is averaged (weighted by bin size, then
+// across groups/features by group size). A deterministic monotone (Monge)
+// repair scores ≈ 0 — within-bin output spread then reflects only the bin's
+// own input spread — while a mass-splitting stochastic repair scores on the
+// order of the plan rows' conditional spread.
+func RepairDispersion(before, after *dataset.Table, bins int) (float64, error) {
+	if before == nil || after == nil {
+		return 0, errors.New("fairmetrics: nil table")
+	}
+	if before.Len() != after.Len() || before.Dim() != after.Dim() {
+		return 0, fmt.Errorf("fairmetrics: shape mismatch %d×%d vs %d×%d",
+			before.Len(), before.Dim(), after.Len(), after.Dim())
+	}
+	if bins < 1 {
+		return 0, fmt.Errorf("fairmetrics: bins must be positive, got %d", bins)
+	}
+	total, weighted := 0, 0.0
+	for _, g := range dataset.Groups() {
+		idx := groupIndices(before, g)
+		if len(idx) < 2*bins {
+			continue // too small to slice meaningfully
+		}
+		for k := 0; k < before.Dim(); k++ {
+			pairs := make([][2]float64, len(idx))
+			for i, id := range idx {
+				pairs[i] = [2]float64{before.At(id).X[k], after.At(id).X[k]}
+			}
+			sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+			sum, n := 0.0, 0
+			for b := 0; b < bins; b++ {
+				lo := b * len(pairs) / bins
+				hi := (b + 1) * len(pairs) / bins
+				if hi-lo < 2 {
+					continue
+				}
+				outs := make([]float64, 0, hi-lo)
+				for _, p := range pairs[lo:hi] {
+					outs = append(outs, p[1])
+				}
+				sum += stat.StdDev(outs) * float64(hi-lo)
+				n += hi - lo
+			}
+			if n > 0 {
+				weighted += sum
+				total += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0, errors.New("fairmetrics: no group large enough for dispersion")
+	}
+	return weighted / float64(total), nil
+}
+
+// Comonotonicity measures order preservation: the fraction of strictly
+// concordant (input, output) pairs per (u,s) group and feature, averaged
+// with group-size weights. Pairs are taken deterministically at several
+// index lags so the estimate needs no randomness source. A monotone map
+// scores 1; independent redraws score ≈ 0.5; an order-reversing map scores
+// 0. Ties in either coordinate are excluded.
+func Comonotonicity(before, after *dataset.Table) (float64, error) {
+	if before == nil || after == nil {
+		return 0, errors.New("fairmetrics: nil table")
+	}
+	if before.Len() != after.Len() || before.Dim() != after.Dim() {
+		return 0, fmt.Errorf("fairmetrics: shape mismatch %d×%d vs %d×%d",
+			before.Len(), before.Dim(), after.Len(), after.Dim())
+	}
+	lags := []int{1, 3, 7, 13, 29}
+	concordant, valid := 0, 0
+	for _, g := range dataset.Groups() {
+		idx := groupIndices(before, g)
+		n := len(idx)
+		if n < 2 {
+			continue
+		}
+		for k := 0; k < before.Dim(); k++ {
+			for _, lag := range lags {
+				if lag >= n {
+					break
+				}
+				for i := 0; i+lag < n; i++ {
+					a, b := idx[i], idx[i+lag]
+					dx := before.At(a).X[k] - before.At(b).X[k]
+					dy := after.At(a).X[k] - after.At(b).X[k]
+					if dx == 0 || dy == 0 {
+						continue
+					}
+					valid++
+					if (dx > 0) == (dy > 0) {
+						concordant++
+					}
+				}
+			}
+		}
+	}
+	if valid == 0 {
+		return 0, errors.New("fairmetrics: no comparable pairs (all ties)")
+	}
+	return float64(concordant) / float64(valid), nil
+}
+
+// groupIndices returns the record indices of one (u,s) group in order.
+func groupIndices(t *dataset.Table, g dataset.Group) []int {
+	var idx []int
+	for i, rec := range t.Records() {
+		if rec.U == g.U && rec.S == g.S {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

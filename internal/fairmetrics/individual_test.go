@@ -1,0 +1,159 @@
+package fairmetrics
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// monotoneRepair applies a deterministic increasing map per group.
+func monotoneRepair(t *dataset.Table) *dataset.Table {
+	out := t.Clone()
+	for i := range out.Records() {
+		for k := range out.Records()[i].X {
+			out.Records()[i].X[k] = 2*out.Records()[i].X[k] + 1
+		}
+	}
+	return out
+}
+
+// noisyRepair redraws outputs independently of inputs.
+func noisyRepair(t *dataset.Table, r *rng.RNG) *dataset.Table {
+	out := t.Clone()
+	for i := range out.Records() {
+		for k := range out.Records()[i].X {
+			out.Records()[i].X[k] = r.Norm()
+		}
+	}
+	return out
+}
+
+func individualTestTable(seed uint64, n int) *dataset.Table {
+	r := rng.New(seed)
+	tab := dataset.MustTable(2, nil)
+	for i := 0; i < n; i++ {
+		_ = tab.Append(dataset.Record{
+			X: []float64{r.Norm(), r.Norm()},
+			S: i % 2,
+			U: (i / 2) % 2,
+		})
+	}
+	return tab
+}
+
+func TestRepairDispersionMonotoneNearZero(t *testing.T) {
+	tab := individualTestTable(1, 2000)
+	repaired := monotoneRepair(tab)
+	d, err := RepairDispersion(tab, repaired, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within a 1/50-quantile input bin the monotone map's output spread is
+	// tiny relative to the unit data scale.
+	if d > 0.2 {
+		t.Errorf("monotone dispersion = %v, want ≈ 0", d)
+	}
+}
+
+func TestRepairDispersionNoisyIsLarge(t *testing.T) {
+	tab := individualTestTable(2, 2000)
+	repaired := noisyRepair(tab, rng.New(3))
+	d, err := RepairDispersion(tab, repaired, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent standard-normal redraws have within-bin std ≈ 1.
+	if math.Abs(d-1) > 0.2 {
+		t.Errorf("noisy dispersion = %v, want ≈ 1", d)
+	}
+}
+
+func TestRepairDispersionOrdering(t *testing.T) {
+	tab := individualTestTable(4, 2000)
+	mono, err := RepairDispersion(tab, monotoneRepair(tab), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := RepairDispersion(tab, noisyRepair(tab, rng.New(5)), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono >= noisy/3 {
+		t.Errorf("monotone dispersion %v not clearly below noisy %v", mono, noisy)
+	}
+}
+
+func TestRepairDispersionValidation(t *testing.T) {
+	tab := individualTestTable(6, 100)
+	if _, err := RepairDispersion(nil, tab, 10); err == nil {
+		t.Error("nil before accepted")
+	}
+	if _, err := RepairDispersion(tab, nil, 10); err == nil {
+		t.Error("nil after accepted")
+	}
+	short := individualTestTable(7, 50)
+	if _, err := RepairDispersion(tab, short, 10); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := RepairDispersion(tab, tab, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	tiny := individualTestTable(8, 8)
+	if _, err := RepairDispersion(tiny, tiny, 50); err == nil {
+		t.Error("all-groups-too-small case must error")
+	}
+}
+
+func TestComonotonicityPolarCases(t *testing.T) {
+	tab := individualTestTable(9, 1200)
+	mono, err := Comonotonicity(tab, monotoneRepair(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono != 1 {
+		t.Errorf("monotone comonotonicity = %v, want 1", mono)
+	}
+	// An order-reversing map scores 0.
+	rev := tab.Clone()
+	for i := range rev.Records() {
+		for k := range rev.Records()[i].X {
+			rev.Records()[i].X[k] = -rev.Records()[i].X[k]
+		}
+	}
+	anti, err := Comonotonicity(tab, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anti != 0 {
+		t.Errorf("anti-monotone comonotonicity = %v, want 0", anti)
+	}
+	// Independent redraws hover at ½.
+	noisy, err := Comonotonicity(tab, noisyRepair(tab, rng.New(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(noisy-0.5) > 0.05 {
+		t.Errorf("noisy comonotonicity = %v, want ≈ 0.5", noisy)
+	}
+}
+
+func TestComonotonicityValidation(t *testing.T) {
+	tab := individualTestTable(11, 100)
+	if _, err := Comonotonicity(nil, tab); err == nil {
+		t.Error("nil before accepted")
+	}
+	short := individualTestTable(12, 40)
+	if _, err := Comonotonicity(tab, short); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	// All-ties input: no comparable pairs.
+	constTab := dataset.MustTable(1, nil)
+	for i := 0; i < 10; i++ {
+		_ = constTab.Append(dataset.Record{X: []float64{1}, S: 0, U: 0})
+	}
+	if _, err := Comonotonicity(constTab, constTab); err == nil {
+		t.Error("all-ties accepted")
+	}
+}

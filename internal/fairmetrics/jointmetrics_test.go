@@ -1,0 +1,198 @@
+package fairmetrics
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// corrTable builds a labelled table whose s-groups have correlation ±rho
+// with standard-normal marginals (the structure-only dependence case), or
+// identical correlation when rho1 == rho0.
+func corrTable(t *testing.T, seed uint64, n int, rho0, rho1 float64) *dataset.Table {
+	t.Helper()
+	r := rng.New(seed)
+	tab := dataset.MustTable(2, []string{"x1", "x2"})
+	draw := func(rho float64) []float64 {
+		z1 := r.Norm()
+		z2 := rho*z1 + math.Sqrt(1-rho*rho)*r.Norm()
+		return []float64{z1, z2}
+	}
+	for i := 0; i < n; i++ {
+		u := i % 2
+		if i%4 < 2 {
+			_ = tab.Append(dataset.Record{X: draw(rho0), S: 0, U: u})
+		} else {
+			_ = tab.Append(dataset.Record{X: draw(rho1), S: 1, U: u})
+		}
+	}
+	return tab
+}
+
+func TestEJointDetectsStructureOnlyDependence(t *testing.T) {
+	// Opposite correlations, identical marginals: per-feature E sees almost
+	// nothing, EJoint must light up.
+	tab := corrTable(t, 1, 4000, 0.8, -0.8)
+	perFeature, err := E(tab, Config{Estimator: EstimatorKDE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jointE, err := EJoint(tab, JointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jointE < 5*perFeature {
+		t.Errorf("EJoint %v should dominate per-feature E %v on structure-only dependence", jointE, perFeature)
+	}
+	if jointE < 0.2 {
+		t.Errorf("EJoint = %v, want clearly positive for ±0.8 correlations", jointE)
+	}
+}
+
+func TestEJointNearZeroForIdenticalConditionals(t *testing.T) {
+	tab := corrTable(t, 2, 4000, 0.5, 0.5)
+	jointE, err := EJoint(tab, JointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jointE > 0.05 {
+		t.Errorf("EJoint = %v for identically distributed s-groups, want ≈ 0", jointE)
+	}
+}
+
+func TestEJointValidation(t *testing.T) {
+	if _, err := EJoint(nil, JointConfig{}); err == nil {
+		t.Error("nil table accepted")
+	}
+	empty := dataset.MustTable(2, nil)
+	if _, err := EJoint(empty, JointConfig{}); err == nil {
+		t.Error("empty table accepted")
+	}
+	unlabelled := dataset.MustTable(2, nil)
+	_ = unlabelled.Append(dataset.Record{X: []float64{0, 0}, S: dataset.SUnknown, U: 0})
+	if _, err := EJoint(unlabelled, JointConfig{}); err == nil {
+		t.Error("all-unlabelled table accepted")
+	}
+	oneClass := dataset.MustTable(2, nil)
+	for i := 0; i < 10; i++ {
+		_ = oneClass.Append(dataset.Record{X: []float64{float64(i), 0}, S: 0, U: 0})
+	}
+	if _, err := EJoint(oneClass, JointConfig{}); err == nil {
+		t.Error("missing s-class accepted")
+	}
+}
+
+func TestEJointHandlesDegenerateAxis(t *testing.T) {
+	// A globally constant feature collapses that axis; the metric must
+	// still evaluate on the remaining structure.
+	r := rng.New(3)
+	tab := dataset.MustTable(2, nil)
+	for i := 0; i < 400; i++ {
+		u := i % 2
+		s := (i / 2) % 2
+		shift := float64(s) * 2
+		_ = tab.Append(dataset.Record{X: []float64{r.Normal(shift, 1), 5}, S: s, U: u})
+	}
+	jointE, err := EJoint(tab, JointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jointE <= 0.05 {
+		t.Errorf("EJoint = %v, want positive for mean-shifted groups", jointE)
+	}
+}
+
+func TestCorrelationGap(t *testing.T) {
+	opposite := corrTable(t, 4, 4000, 0.8, -0.8)
+	gap, err := CorrelationGap(opposite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap-1.6) > 0.15 {
+		t.Errorf("gap = %v, want ≈ 1.6", gap)
+	}
+	same := corrTable(t, 5, 4000, 0.6, 0.6)
+	gap, err = CorrelationGap(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap > 0.1 {
+		t.Errorf("gap = %v for equal correlations, want ≈ 0", gap)
+	}
+}
+
+func TestCorrelationGapValidation(t *testing.T) {
+	if _, err := CorrelationGap(nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	oneD := dataset.MustTable(1, nil)
+	_ = oneD.Append(dataset.Record{X: []float64{1}, S: 0, U: 0})
+	if _, err := CorrelationGap(oneD); err == nil {
+		t.Error("1-D table accepted")
+	}
+	unlabelled := dataset.MustTable(2, nil)
+	_ = unlabelled.Append(dataset.Record{X: []float64{0, 0}, S: dataset.SUnknown, U: 0})
+	if _, err := CorrelationGap(unlabelled); err == nil {
+		t.Error("all-unlabelled table accepted")
+	}
+}
+
+func TestCorrelationDamage(t *testing.T) {
+	tab := corrTable(t, 6, 2000, 0.7, 0.7)
+	// Identity repair: zero damage.
+	zero, err := CorrelationDamage(tab, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("identity damage = %v", zero)
+	}
+	// Shuffling one column within each group kills its correlation: damage
+	// must approach |rho| = 0.7.
+	r := rng.New(7)
+	broken := tab.Clone()
+	recs := broken.Records()
+	byGroup := map[dataset.Group][]int{}
+	for i, rec := range recs {
+		g := dataset.Group{U: rec.U, S: rec.S}
+		byGroup[g] = append(byGroup[g], i)
+	}
+	for _, idx := range byGroup {
+		perm := r.Perm(len(idx))
+		vals := make([]float64, len(idx))
+		for i, id := range idx {
+			vals[i] = recs[id].X[1]
+		}
+		for i, id := range idx {
+			recs[id].X[1] = vals[perm[i]]
+		}
+	}
+	dmg, err := CorrelationDamage(tab, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dmg-0.7) > 0.1 {
+		t.Errorf("shuffle damage = %v, want ≈ 0.7", dmg)
+	}
+}
+
+func TestCorrelationDamageValidation(t *testing.T) {
+	tab := corrTable(t, 8, 100, 0.5, 0.5)
+	if _, err := CorrelationDamage(nil, tab); err == nil {
+		t.Error("nil before accepted")
+	}
+	if _, err := CorrelationDamage(tab, nil); err == nil {
+		t.Error("nil after accepted")
+	}
+	short := corrTable(t, 9, 40, 0.5, 0.5)
+	if _, err := CorrelationDamage(tab, short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	oneD := dataset.MustTable(1, nil)
+	_ = oneD.Append(dataset.Record{X: []float64{1}, S: 0, U: 0})
+	if _, err := CorrelationDamage(oneD, oneD); err == nil {
+		t.Error("1-D table accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package joint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProductPointsFlatIndexInverseProperty(t *testing.T) {
+	// For random small grid shapes, flatIndex must be the exact inverse of
+	// the row-major expansion order productPoints uses.
+	f := func(dims []uint8) bool {
+		if len(dims) == 0 || len(dims) > 4 {
+			return true
+		}
+		grids := make([][]float64, len(dims))
+		total := 1
+		for k, d := range dims {
+			n := int(d%5) + 1
+			total *= n
+			grids[k] = make([]float64, n)
+			for i := range grids[k] {
+				grids[k][i] = float64(k*100 + i)
+			}
+		}
+		if total > 4096 {
+			return true
+		}
+		points := productPoints(grids)
+		if len(points) != total {
+			return false
+		}
+		idx := make([]int, len(grids))
+		for flat := 0; flat < total; flat++ {
+			if flatIndex(grids, idx) != flat {
+				return false
+			}
+			for k := range grids {
+				if points[flat][k] != grids[k][idx[k]] {
+					return false
+				}
+			}
+			for k := len(grids) - 1; k >= 0; k-- {
+				idx[k]++
+				if idx[k] < len(grids[k]) {
+					break
+				}
+				idx[k] = 0
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package joint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// Diagnostics counts boundary conditions seen while repairing.
+type Diagnostics struct {
+	// Repaired is the number of records repaired.
+	Repaired int64
+	// Clamped counts coordinate values outside the support range.
+	Clamped int64
+	// EmptyRowFallbacks counts draws that landed on a zero-mass plan row
+	// and fell back to the nearest-point row carrying mass.
+	EmptyRowFallbacks int64
+}
+
+// Repairer applies a joint Plan to off-sample records — Algorithm 2
+// generalized to whole feature vectors. Not safe for concurrent use: it
+// owns an RNG stream.
+type Repairer struct {
+	plan *Plan
+	rng  *rng.RNG
+	diag Diagnostics
+	// alias caches one sampler per (u, s, row): archival torrents revisit
+	// the same rows constantly.
+	alias map[aliasKey]*rowSampler
+}
+
+type aliasKey struct {
+	u, s, row int
+}
+
+type rowSampler struct {
+	targets []int
+	table   *rng.Alias
+}
+
+// NewRepairer binds a joint plan to a randomness source.
+func NewRepairer(plan *Plan, r *rng.RNG) (*Repairer, error) {
+	if plan == nil {
+		return nil, errors.New("joint: nil plan")
+	}
+	if r == nil {
+		return nil, errors.New("joint: nil rng")
+	}
+	return &Repairer{plan: plan, rng: r, alias: make(map[aliasKey]*rowSampler)}, nil
+}
+
+// Diagnostics returns the counters accumulated so far.
+func (rp *Repairer) Diagnostics() Diagnostics { return rp.diag }
+
+// RepairRecord repairs one labelled record: every coordinate is snapped to
+// its axis with the τ-Bernoulli randomization of Eq. (14), the flat product
+// state selects the plan row, and the repaired vector is drawn in one piece
+// from the row conditional (Eq. 15 over the product support).
+func (rp *Repairer) RepairRecord(rec dataset.Record) (dataset.Record, error) {
+	if rec.S != 0 && rec.S != 1 {
+		return dataset.Record{}, errors.New("joint: record needs a binary s label (estimate it first, or use the blind repairer)")
+	}
+	if rec.U != 0 && rec.U != 1 {
+		return dataset.Record{}, fmt.Errorf("joint: invalid u label %d", rec.U)
+	}
+	if len(rec.X) != rp.plan.Dim {
+		return dataset.Record{}, fmt.Errorf("joint: record has %d features, want %d", len(rec.X), rp.plan.Dim)
+	}
+	cell := rp.plan.Cells[rec.U]
+	idx := make([]int, rp.plan.Dim)
+	for k, x := range rec.X {
+		idx[k] = rp.snapToAxis(cell.Grids[k], x)
+	}
+	row := flatIndex(cell.Grids, idx)
+	j := rp.drawTarget(cell, rec.U, rec.S, row)
+	out := dataset.Record{X: append([]float64(nil), cell.Points[j]...), S: rec.S, U: rec.U}
+	rp.diag.Repaired++
+	return out, nil
+}
+
+// snapToAxis is Algorithm 2 lines 5–8 for one coordinate.
+func (rp *Repairer) snapToAxis(grid []float64, x float64) int {
+	n := len(grid)
+	if n == 1 {
+		if x != grid[0] {
+			rp.diag.Clamped++
+		}
+		return 0
+	}
+	switch {
+	case x <= grid[0]:
+		if x < grid[0] {
+			rp.diag.Clamped++
+		}
+		return 0
+	case x >= grid[n-1]:
+		if x > grid[n-1] {
+			rp.diag.Clamped++
+		}
+		return n - 1
+	}
+	q := sort.SearchFloat64s(grid, x)
+	if q == n || grid[q] > x {
+		q--
+	}
+	if grid[q] == x {
+		return q
+	}
+	tau := (x - grid[q]) / (grid[q+1] - grid[q])
+	if rp.rng.Bernoulli(tau) {
+		q++
+	}
+	return q
+}
+
+// drawTarget draws the repaired product state from plan row `row`.
+func (rp *Repairer) drawTarget(cell *Cell, u, s, row int) int {
+	key := aliasKey{u: u, s: s, row: row}
+	sampler, ok := rp.alias[key]
+	if !ok {
+		r := rp.nearestMassiveRow(cell, s, row)
+		if r != row {
+			rp.diag.EmptyRowFallbacks++
+		}
+		targets, probs, ok := cell.Plans[s].RowConditional(r)
+		if !ok {
+			panic("joint: plan has no mass in any row")
+		}
+		sampler = &rowSampler{targets: targets, table: rng.NewAlias(probs)}
+		rp.alias[key] = sampler
+	}
+	return sampler.targets[sampler.table.Draw(rp.rng)]
+}
+
+// nearestMassiveRow returns row if it has mass, otherwise the row whose
+// support point is closest in squared Euclidean distance among rows with
+// mass. Sinkhorn plans are dense, so this path only triggers after the
+// feasibility rounding zeroes a boundary row.
+func (rp *Repairer) nearestMassiveRow(cell *Cell, s, row int) int {
+	plan := cell.Plans[s]
+	if plan.RowMass(row) > 0 {
+		return row
+	}
+	best, bestDist := row, -1.0
+	from := cell.Points[row]
+	for i := range cell.Points {
+		if plan.RowMass(i) <= 0 {
+			continue
+		}
+		d := 0.0
+		for k := range from {
+			diff := from[k] - cell.Points[i][k]
+			d += diff * diff
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// RepairStream consumes a record stream and emits repaired records to sink
+// with O(1) memory, mirroring core.Repairer.RepairStream for the torrent
+// deployment mode.
+func (rp *Repairer) RepairStream(in dataset.Stream, sink func(dataset.Record) error) (int, error) {
+	if in.Dim() != rp.plan.Dim {
+		return 0, fmt.Errorf("joint: stream dimension %d does not match plan %d", in.Dim(), rp.plan.Dim)
+	}
+	n := 0
+	for {
+		rec, err := in.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		repaired, err := rp.RepairRecord(rec)
+		if err != nil {
+			return n, fmt.Errorf("joint: stream record %d: %w", n, err)
+		}
+		if err := sink(repaired); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// RepairTable repairs every record of a table in order, returning a new
+// table with identical labels.
+func (rp *Repairer) RepairTable(t *dataset.Table) (*dataset.Table, error) {
+	if t == nil {
+		return nil, errors.New("joint: nil table")
+	}
+	if t.Dim() != rp.plan.Dim {
+		return nil, fmt.Errorf("joint: table dimension %d does not match plan %d", t.Dim(), rp.plan.Dim)
+	}
+	out, err := dataset.NewTable(t.Dim(), t.Names())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < t.Len(); i++ {
+		rec, err := rp.RepairRecord(t.At(i))
+		if err != nil {
+			return nil, fmt.Errorf("joint: record %d: %w", i, err)
+		}
+		if err := out.Append(rec); err != nil {
+			return nil, fmt.Errorf("joint: record %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

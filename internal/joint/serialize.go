@@ -1,0 +1,154 @@
+package joint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"otfair/internal/kde"
+	"otfair/internal/ot"
+)
+
+// Joint plans are deployment artifacts exactly like the per-feature plans
+// of internal/core: designed once, then applied to torrents, possibly in a
+// different process. The JSON layout mirrors core's, with the product
+// support stored as per-dimension grids (points are reconstructed, not
+// stored — they are pure redundancy).
+
+// jointPlanVersion is bumped when the layout changes incompatibly.
+const jointPlanVersion = 1
+
+type planJSON struct {
+	Version int         `json:"version"`
+	Dim     int         `json:"dim"`
+	Names   []string    `json:"names"`
+	Opts    optionsJSON `json:"options"`
+	Cells   [2]cellJSON `json:"cells"`
+}
+
+type optionsJSON struct {
+	NQ        int     `json:"nq"`
+	T         float64 `json:"t"`
+	Kernel    string  `json:"kernel"`
+	Bandwidth string  `json:"bandwidth"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	MaxStates int     `json:"max_states"`
+}
+
+type cellJSON struct {
+	Grids [][]float64   `json:"grids"`
+	PMF   [2][]float64  `json:"pmf"`
+	Bary  []float64     `json:"bary"`
+	Plans [2][]ot.Entry `json:"plans"`
+}
+
+// WriteJSON serializes the joint plan.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	out := planJSON{
+		Version: jointPlanVersion,
+		Dim:     p.Dim,
+		Names:   p.Names,
+		Opts: optionsJSON{
+			NQ:        p.Opts.NQ,
+			T:         p.Opts.T,
+			Kernel:    p.Opts.Kernel.String(),
+			Bandwidth: p.Opts.Bandwidth.String(),
+			Epsilon:   p.Opts.Epsilon,
+			MaxStates: p.Opts.MaxStates,
+		},
+	}
+	for u := 0; u < 2; u++ {
+		cell := p.Cells[u]
+		cj := cellJSON{
+			Grids: cell.Grids,
+			PMF:   cell.PMF,
+			Bary:  cell.Bary,
+		}
+		for s := 0; s < 2; s++ {
+			cj.Plans[s] = cell.Plans[s].Entries()
+		}
+		out.Cells[u] = cj
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// ReadPlan deserializes a joint plan written by WriteJSON, re-validating
+// every component so corrupted files fail loudly.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("joint: decoding plan: %w", err)
+	}
+	if in.Version != jointPlanVersion {
+		return nil, fmt.Errorf("joint: plan version %d unsupported (want %d)", in.Version, jointPlanVersion)
+	}
+	if in.Dim <= 0 {
+		return nil, errors.New("joint: plan has non-positive dimension")
+	}
+	kernel, err := kde.ParseKernel(in.Opts.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	bandwidth, err := kde.ParseBandwidth(in.Opts.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Dim:   in.Dim,
+		Names: in.Names,
+		Opts: Options{
+			NQ:        in.Opts.NQ,
+			T:         in.Opts.T,
+			Kernel:    kernel,
+			Bandwidth: bandwidth,
+			Epsilon:   in.Opts.Epsilon,
+			MaxStates: in.Opts.MaxStates,
+		},
+	}
+	for u := 0; u < 2; u++ {
+		cell, err := cellFromJSON(in.Cells[u], in.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("joint: plan cell u=%d: %w", u, err)
+		}
+		plan.Cells[u] = cell
+	}
+	return plan, nil
+}
+
+func cellFromJSON(cj cellJSON, dim int) (*Cell, error) {
+	if len(cj.Grids) != dim {
+		return nil, fmt.Errorf("cell has %d grid axes, want %d", len(cj.Grids), dim)
+	}
+	states := 1
+	for k, g := range cj.Grids {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("axis %d is empty", k)
+		}
+		for i := 1; i < len(g); i++ {
+			if g[i] <= g[i-1] {
+				return nil, fmt.Errorf("axis %d not ascending at state %d", k, i)
+			}
+		}
+		states *= len(g)
+	}
+	if len(cj.Bary) != states {
+		return nil, fmt.Errorf("barycenter has %d states, support has %d", len(cj.Bary), states)
+	}
+	cell := &Cell{Grids: cj.Grids, Bary: cj.Bary, Points: productPoints(cj.Grids)}
+	for s := 0; s < 2; s++ {
+		if len(cj.PMF[s]) != states {
+			return nil, fmt.Errorf("pmf[%d] has %d states, support has %d", s, len(cj.PMF[s]), states)
+		}
+		cell.PMF[s] = cj.PMF[s]
+		plan, err := ot.NewPlan(states, states, cj.Plans[s])
+		if err != nil {
+			return nil, fmt.Errorf("plan[%d]: %w", s, err)
+		}
+		if plan.TotalMass() <= 0 {
+			return nil, fmt.Errorf("plan[%d] carries no mass", s)
+		}
+		cell.Plans[s] = plan
+	}
+	return cell, nil
+}

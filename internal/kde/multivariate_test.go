@@ -1,0 +1,203 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/rng"
+	"otfair/internal/stat"
+)
+
+func correlatedSample(r *rng.RNG, n int, rho float64) [][]float64 {
+	rows := make([][]float64, n)
+	c := math.Sqrt(1 - rho*rho)
+	for i := range rows {
+		z1 := r.Norm()
+		z2 := rho*z1 + c*r.Norm()
+		rows[i] = []float64{z1, z2}
+	}
+	return rows
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(nil, Gaussian, Silverman); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := NewMulti([][]float64{{}}, Gaussian, Silverman); err == nil {
+		t.Error("zero-dimensional sample accepted")
+	}
+	if _, err := NewMulti([][]float64{{1, 2}, {1}}, Gaussian, Silverman); err == nil {
+		t.Error("ragged sample accepted")
+	}
+	if _, err := NewMulti([][]float64{{1, math.NaN()}}, Gaussian, Silverman); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := NewMulti([][]float64{{1, math.Inf(1)}}, Gaussian, Silverman); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestMultiBandwidthRate(t *testing.T) {
+	// The multivariate rule rescales the 1-D n^{-1/5} rule to n^{-1/(d+4)};
+	// for d = 2 the ratio must be n^{1/5 - 1/6} = n^{1/30}... against the
+	// per-column 1-D Silverman value.
+	r := rng.New(1)
+	rows := correlatedSample(r, 1000, 0)
+	e, err := NewMulti(rows, Gaussian, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := SilvermanBandwidth(stat.Column(rows, 0))
+	wantRatio := math.Pow(1000, -1.0/6) / math.Pow(1000, -0.2)
+	if got := e.Bandwidths()[0] / h1; math.Abs(got-wantRatio) > 1e-9 {
+		t.Errorf("bandwidth rate ratio = %v, want %v", got, wantRatio)
+	}
+	if e.Dim() != 2 || e.N() != 1000 {
+		t.Errorf("Dim/N = %d/%d", e.Dim(), e.N())
+	}
+}
+
+func TestMultiPDFIntegratesToOne(t *testing.T) {
+	r := rng.New(2)
+	rows := correlatedSample(r, 400, 0.5)
+	e, err := NewMulti(rows, Gaussian, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid-free Riemann sum over a wide box.
+	const lo, hi = -6.0, 6.0
+	const m = 120
+	step := (hi - lo) / m
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			x := []float64{lo + (float64(i)+0.5)*step, lo + (float64(j)+0.5)*step}
+			sum += e.PDF(x) * step * step
+		}
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Errorf("∫f̂ = %v, want ≈ 1", sum)
+	}
+}
+
+func TestMultiPDFMatchesProductOfUnivariatesForIndependentKernels(t *testing.T) {
+	// With one sample point the product-kernel density factorizes exactly:
+	// f̂(x) = Π_k K((x_k − X_k)/h_k)/h_k.
+	rows := [][]float64{{1, -2}}
+	e, err := NewMulti(rows, Gaussian, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := e.Bandwidths()
+	x := []float64{1.3, -1.5}
+	want := Gaussian.Eval((x[0]-1)/h[0]) / h[0] * Gaussian.Eval((x[1]+2)/h[1]) / h[1]
+	if got := e.PDF(x); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PDF = %v, want %v", got, want)
+	}
+}
+
+func TestMultiPDFWrongDimensionIsNaN(t *testing.T) {
+	e, err := NewMulti([][]float64{{0, 0}}, Gaussian, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(e.PDF([]float64{0})) {
+		t.Error("wrong-dimension PDF should be NaN")
+	}
+}
+
+func TestMultiGridPMFMatchesDirectEvaluation(t *testing.T) {
+	// The separable accumulation must agree with direct PDF calls at every
+	// product-grid node (up to normalization).
+	r := rng.New(3)
+	rows := correlatedSample(r, 60, 0.7)
+	e, err := NewMulti(rows, Gaussian, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx := stat.Linspace(-3, 3, 7)
+	gy := stat.Linspace(-2, 2, 5)
+	pmf, err := e.GridPMF([][]float64{gx, gy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pmf) != 35 {
+		t.Fatalf("pmf has %d states, want 35", len(pmf))
+	}
+	direct := make([]float64, 0, 35)
+	total := 0.0
+	for _, x := range gx {
+		for _, y := range gy {
+			v := e.PDF([]float64{x, y})
+			direct = append(direct, v)
+			total += v
+		}
+	}
+	sum := 0.0
+	for flat, p := range pmf {
+		if p < 0 {
+			t.Fatalf("negative pmf mass at %d", flat)
+		}
+		sum += p
+		if want := direct[flat] / total; math.Abs(p-want) > 1e-9 {
+			t.Fatalf("state %d: pmf %v, direct %v", flat, p, want)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %v", sum)
+	}
+}
+
+func TestMultiGridPMFErrors(t *testing.T) {
+	e, err := NewMulti([][]float64{{0, 0}, {1, 1}}, Gaussian, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GridPMF([][]float64{{0, 1}}); err == nil {
+		t.Error("grid count mismatch accepted")
+	}
+	if _, err := e.GridPMF([][]float64{{0, 1}, {}}); err == nil {
+		t.Error("empty axis accepted")
+	}
+	// A grid far outside the data support carries no mass for the compact
+	// Epanechnikov kernel.
+	ec, err := NewMulti([][]float64{{0, 0}, {1, 1}}, Epanechnikov, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ec.GridPMF([][]float64{{100, 101}, {100, 101}}); err == nil {
+		t.Error("zero-mass grid accepted")
+	}
+}
+
+func TestMultiCapturesCorrelation(t *testing.T) {
+	// The joint KDE must put more mass on the correlated diagonal than the
+	// anti-diagonal; a product of independent marginals would not.
+	r := rng.New(4)
+	rows := correlatedSample(r, 2000, 0.85)
+	e, err := NewMulti(rows, Gaussian, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDiag := e.PDF([]float64{1, 1}) * e.PDF([]float64{-1, -1})
+	offDiag := e.PDF([]float64{1, -1}) * e.PDF([]float64{-1, 1})
+	if onDiag <= 2*offDiag {
+		t.Errorf("diagonal mass %v not dominant over %v", onDiag, offDiag)
+	}
+}
+
+func TestMultiScottAndLSCVRules(t *testing.T) {
+	r := rng.New(5)
+	rows := correlatedSample(r, 200, 0.3)
+	for _, rule := range []Bandwidth{Scott, LSCV} {
+		e, err := NewMulti(rows, Gaussian, rule)
+		if err != nil {
+			t.Fatalf("%v: %v", rule, err)
+		}
+		for k, h := range e.Bandwidths() {
+			if !(h > 0) {
+				t.Errorf("%v: bandwidth[%d] = %v", rule, k, h)
+			}
+		}
+	}
+}

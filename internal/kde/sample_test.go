@@ -1,0 +1,84 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/rng"
+)
+
+// kernelVariance returns the analytic variance of each standardized kernel.
+func kernelVariance(k Kernel) float64 {
+	switch k {
+	case Gaussian:
+		return 1
+	case Uniform:
+		return 1.0 / 3
+	case Triangular:
+		return 1.0 / 6
+	case Epanechnikov:
+		return 1.0 / 5
+	case Biweight:
+		return 1.0 / 7
+	default:
+		panic("unknown")
+	}
+}
+
+func TestSampleMomentsMatchKernels(t *testing.T) {
+	r := rng.New(71)
+	const n = 200000
+	for _, k := range []Kernel{Gaussian, Uniform, Triangular, Epanechnikov, Biweight} {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := Sample(k, r)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean) > 0.01 {
+			t.Errorf("kernel %v sample mean = %v", k, mean)
+		}
+		want := kernelVariance(k)
+		if math.Abs(variance-want) > 0.02 {
+			t.Errorf("kernel %v sample variance = %v, want %v", k, variance, want)
+		}
+	}
+}
+
+func TestSampleCompactKernelsBounded(t *testing.T) {
+	r := rng.New(72)
+	for _, k := range []Kernel{Uniform, Triangular, Epanechnikov, Biweight} {
+		for i := 0; i < 5000; i++ {
+			v := Sample(k, r)
+			if v < -1 || v > 1 {
+				t.Fatalf("kernel %v sample %v outside [-1,1]", k, v)
+			}
+		}
+	}
+}
+
+func TestSampleDistributionShape(t *testing.T) {
+	// Histogram of Epanechnikov samples tracks the density 0.75(1−u²).
+	r := rng.New(73)
+	const n = 400000
+	const bins = 20
+	counts := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		v := Sample(Epanechnikov, r)
+		b := int((v + 1) / 2 * bins)
+		if b == bins {
+			b--
+		}
+		counts[b]++
+	}
+	for b := 0; b < bins; b++ {
+		center := -1 + (float64(b)+0.5)*2/bins
+		want := 0.75 * (1 - center*center) * (2.0 / bins)
+		got := counts[b] / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("bin %d: freq %v, want %v", b, got, want)
+		}
+	}
+}

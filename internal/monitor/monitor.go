@@ -1,0 +1,330 @@
+// Package monitor guards the stationarity assumption the paper's deployment
+// mode rests on (Section IV requirement 2 and the Section VI discussion):
+// repair plans are designed once on research data and then applied to
+// unbounded archival torrents, which is only sound while the torrent keeps
+// drawing from the design-time population. The stream monitor compares a
+// rolling window of incoming feature values against the plan's own
+// interpolated marginals (one-sample KS plus PSI) per (u,s,feature) cell
+// and raises alarms when the plan has gone stale; the stopping rule answers
+// the complementary design-time question — how much research data is enough
+// (Section VI: "stopping rules for learning of the marginals").
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/kde"
+	"otfair/internal/rng"
+)
+
+// AlarmKind labels which statistic tripped.
+type AlarmKind int
+
+const (
+	// AlarmKS marks a one-sample Kolmogorov–Smirnov rejection.
+	AlarmKS AlarmKind = iota
+	// AlarmPSI marks a population-stability-index excursion.
+	AlarmPSI
+)
+
+// String names the alarm kind.
+func (k AlarmKind) String() string {
+	if k == AlarmPSI {
+		return "psi"
+	}
+	return "ks"
+}
+
+// Alarm reports one stale cell: the (u,s,feature) whose incoming window no
+// longer matches the design-time marginal.
+type Alarm struct {
+	// U, S, K locate the cell.
+	U, S, K int
+	// Kind is the statistic that tripped.
+	Kind AlarmKind
+	// Stat is the observed statistic and Threshold the bound it crossed.
+	Stat, Threshold float64
+	// Window is the number of observations the statistic was computed on.
+	Window int
+	// Seen is the total number of records observed when the alarm fired.
+	Seen int64
+}
+
+// String renders an alarm for logs.
+func (a Alarm) String() string {
+	return fmt.Sprintf("monitor: drift in (u=%d,s=%d,k=%d): %s=%.4f > %.4f (window %d, after %d records)",
+		a.U, a.S, a.K, a.Kind, a.Stat, a.Threshold, a.Window, a.Seen)
+}
+
+// Options configures the stream monitor.
+type Options struct {
+	// Window is the per-cell rolling window length (default 256).
+	Window int
+	// CheckEvery runs the statistics once per this many observations in a
+	// cell after its window first fills (default Window/4).
+	CheckEvery int
+	// Alpha is the KS test level (default 0.001). The reference marginal is
+	// itself estimated from finite research data with KDE smoothing and
+	// grid quantization, so the operating level is approximate; the default
+	// is conservative to keep stationary streams quiet.
+	Alpha float64
+	// PSIWarn is the PSI alarm threshold (default 0.25, the upper edge of
+	// the industry "major shift" convention — again conservative because
+	// the expected-bin masses carry estimation error).
+	PSIWarn float64
+	// Cooldown suppresses repeat alarms from one cell for this many
+	// observations after it fires (default Window), so a persistent drift
+	// produces a report per window rather than per record.
+	Cooldown int
+	// Dither perturbs each incoming value by the cell's design bandwidth
+	// before windowing, mirroring core.RepairOptions.KernelDither: the
+	// reference pmfs are KDE-smoothed, so atomic or integer features (e.g.
+	// Adult's 40-hours spike) otherwise register a permanent KS gap of
+	// about half the atom's mass and page forever. Dithered inputs are
+	// distributionally consistent with the smoothed reference. Off by
+	// default; turn it on whenever the repair itself runs with dithering.
+	Dither bool
+	// Seed drives the dithering noise (default 1; only used with Dither).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 256
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = o.Window / 4
+		if o.CheckEvery == 0 {
+			o.CheckEvery = 1
+		}
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.001
+	}
+	if o.PSIWarn == 0 {
+		o.PSIWarn = 0.25
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = o.Window
+	}
+	return o
+}
+
+// cellState is one (u,s,k) rolling window.
+type cellState struct {
+	ring     []float64
+	n        int   // filled length (≤ cap)
+	next     int   // ring write position
+	sinceChk int   // observations since last check
+	cooldown int   // observations to skip alarming for
+	observed int64 // lifetime observations
+}
+
+// psiRef is the coarse-binned reference one cell's PSI compares against:
+// roughly equal-expected-mass bins, the industry convention that keeps the
+// index stable at rolling-window sample sizes (fine 50-state bins put ~5
+// observations in each and the index never settles).
+type psiRef struct {
+	// edges are right-closed upper bounds in feature units; the last bin is
+	// unbounded.
+	edges    []float64
+	expected []float64
+}
+
+// Monitor watches a record stream against a designed plan. Not safe for
+// concurrent use.
+type Monitor struct {
+	plan  *core.Plan
+	opts  Options
+	cells map[[3]int]*cellState
+	psi   map[[3]int]*psiRef
+	rng   *rng.RNG // nil unless Options.Dither
+	seen  int64
+	fired int64
+}
+
+// New builds a monitor for the plan the deployment repairs with.
+func New(plan *core.Plan, opts Options) (*Monitor, error) {
+	if plan == nil {
+		return nil, errors.New("monitor: nil plan")
+	}
+	opts = opts.withDefaults()
+	if opts.Window < 8 {
+		return nil, fmt.Errorf("monitor: window %d too small (minimum 8)", opts.Window)
+	}
+	if opts.Alpha <= 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("monitor: alpha %v outside (0,1)", opts.Alpha)
+	}
+	m := &Monitor{
+		plan:  plan,
+		opts:  opts,
+		cells: make(map[[3]int]*cellState),
+		psi:   make(map[[3]int]*psiRef),
+	}
+	if opts.Dither {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		m.rng = rng.New(seed)
+	}
+	return m, nil
+}
+
+// Seen returns the number of records observed.
+func (m *Monitor) Seen() int64 { return m.seen }
+
+// Fired returns the number of alarms raised so far.
+func (m *Monitor) Fired() int64 { return m.fired }
+
+// Observe ingests one labelled record and returns any alarms it triggers
+// (usually none). Records with unknown s are ignored: the monitor watches
+// the same (u,s,k)-cells the plans are indexed by.
+func (m *Monitor) Observe(rec dataset.Record) ([]Alarm, error) {
+	if rec.S == dataset.SUnknown {
+		return nil, nil
+	}
+	if rec.S != 0 && rec.S != 1 || rec.U != 0 && rec.U != 1 {
+		return nil, fmt.Errorf("monitor: invalid labels (s=%d, u=%d)", rec.S, rec.U)
+	}
+	if len(rec.X) != m.plan.Dim {
+		return nil, fmt.Errorf("monitor: record has %d features, want %d", len(rec.X), m.plan.Dim)
+	}
+	m.seen++
+	var alarms []Alarm
+	for k, x := range rec.X {
+		key := [3]int{rec.U, rec.S, k}
+		cs := m.cells[key]
+		if cs == nil {
+			cs = &cellState{ring: make([]float64, m.opts.Window)}
+			m.cells[key] = cs
+		}
+		if m.rng != nil {
+			cell := m.plan.Cell(rec.U, k)
+			if h := cell.H[rec.S]; h > 0 && !cell.Degenerate {
+				x += h * kde.Sample(m.plan.Opts.Kernel, m.rng)
+			}
+		}
+		cs.ring[cs.next] = x
+		cs.next = (cs.next + 1) % len(cs.ring)
+		if cs.n < len(cs.ring) {
+			cs.n++
+		}
+		cs.observed++
+		cs.sinceChk++
+		if cs.cooldown > 0 {
+			cs.cooldown--
+			continue
+		}
+		if cs.n < len(cs.ring) || cs.sinceChk < m.opts.CheckEvery {
+			continue
+		}
+		cs.sinceChk = 0
+		a, err := m.check(rec.U, rec.S, k, cs)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) > 0 {
+			cs.cooldown = m.opts.Cooldown
+			m.fired += int64(len(a))
+			alarms = append(alarms, a...)
+		}
+	}
+	return alarms, nil
+}
+
+// check runs both statistics for one full window.
+func (m *Monitor) check(u, s, k int, cs *cellState) ([]Alarm, error) {
+	cell := m.plan.Cell(u, k)
+	if cell.Degenerate {
+		return nil, nil
+	}
+	window := make([]float64, cs.n)
+	copy(window, cs.ring[:cs.n])
+
+	var alarms []Alarm
+	ks, err := KSAgainstPMF(window, cell.Q, cell.PMF[s])
+	if err != nil {
+		return nil, err
+	}
+	// The reference marginal was estimated from n_{R,u,s} research points,
+	// so it carries sampling error of its own: the threshold is the
+	// two-sample critical value with the research group as the second
+	// sample. Without recorded group sizes, fall back to the (stricter)
+	// one-sample bound.
+	crit := KSOneSampleCritical(cs.n, m.opts.Alpha)
+	if nRef := m.plan.GroupSizes[dataset.Group{U: u, S: s}]; nRef > 0 {
+		crit = KSCritical(nRef, cs.n, m.opts.Alpha)
+	}
+	if ks > crit {
+		alarms = append(alarms, Alarm{U: u, S: s, K: k, Kind: AlarmKS, Stat: ks, Threshold: crit, Window: cs.n, Seen: m.seen})
+	}
+	ref := m.psiRef(u, s, k, cell)
+	observed := binByEdges(window, ref.edges)
+	psi, err := PSI(ref.expected, observed)
+	if err != nil {
+		return nil, err
+	}
+	// Under the null, PSI on B bins behaves like a scaled χ² with
+	// expectation ≈ B·(1/n_window + 1/n_ref): both the window and the
+	// research-estimated reference contribute sampling noise. Lift the
+	// alarm threshold by twice that expectation so small research groups
+	// do not page on their own estimation error.
+	thr := m.opts.PSIWarn + 2*float64(psiBinCount)/float64(cs.n)
+	if nRef := m.plan.GroupSizes[dataset.Group{U: u, S: s}]; nRef > 0 {
+		thr += 2 * float64(psiBinCount) / float64(nRef)
+	}
+	if psi > thr {
+		alarms = append(alarms, Alarm{U: u, S: s, K: k, Kind: AlarmPSI, Stat: psi, Threshold: thr, Window: cs.n, Seen: m.seen})
+	}
+	return alarms, nil
+}
+
+// psiBinCount is the number of coarse PSI bins (the industry-standard
+// decile convention).
+const psiBinCount = 10
+
+// psiRef builds (and caches) the coarse equal-mass binning of one cell's
+// design pmf.
+func (m *Monitor) psiRef(u, s, k int, cell *core.Cell) *psiRef {
+	key := [3]int{u, s, k}
+	if ref := m.psi[key]; ref != nil {
+		return ref
+	}
+	ref := &psiRef{}
+	cum, binMass := 0.0, 0.0
+	bin := 1
+	for i, p := range cell.PMF[s] {
+		cum += p
+		binMass += p
+		if cum >= float64(bin)/psiBinCount && bin < psiBinCount && i < len(cell.Q)-1 {
+			ref.edges = append(ref.edges, cell.Q[i])
+			ref.expected = append(ref.expected, binMass)
+			binMass = 0
+			bin++
+		}
+	}
+	ref.expected = append(ref.expected, binMass)
+	m.psi[key] = ref
+	return ref
+}
+
+// binByEdges histograms a sample into the right-closed bins bounded by
+// edges (last bin unbounded) and normalizes to a pmf.
+func binByEdges(sample, edges []float64) []float64 {
+	counts := make([]float64, len(edges)+1)
+	for _, x := range sample {
+		b := 0
+		for b < len(edges) && x > edges[b] {
+			b++
+		}
+		counts[b]++
+	}
+	for i := range counts {
+		counts[i] /= float64(len(sample))
+	}
+	return counts
+}

@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sanitize maps arbitrary float64s into finite values so quick-generated
+// samples are valid inputs.
+func sanitize(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, math.Mod(x, 1e6))
+	}
+	return out
+}
+
+func TestKSStatisticRangeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		as, bs := sanitize(a), sanitize(b)
+		if len(as) == 0 || len(bs) == 0 {
+			return true
+		}
+		d, err := KSStatistic(as, bs)
+		if err != nil {
+			return false
+		}
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSStatisticSymmetryProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		as, bs := sanitize(a), sanitize(b)
+		if len(as) == 0 || len(bs) == 0 {
+			return true
+		}
+		d1, err1 := KSStatistic(as, bs)
+		d2, err2 := KSStatistic(bs, as)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSStatisticSelfZeroProperty(t *testing.T) {
+	f := func(a []float64) bool {
+		as := sanitize(a)
+		if len(as) == 0 {
+			return true
+		}
+		d, err := KSStatistic(as, as)
+		return err == nil && d < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSINonNegativeProperty(t *testing.T) {
+	f := func(raw1, raw2 []float64) bool {
+		if len(raw1) == 0 || len(raw1) != len(raw2) {
+			return true
+		}
+		p := make([]float64, len(raw1))
+		q := make([]float64, len(raw2))
+		var sp, sq float64
+		for i := range raw1 {
+			p[i] = math.Abs(math.Mod(raw1[i], 100))
+			q[i] = math.Abs(math.Mod(raw2[i], 100))
+			if math.IsNaN(p[i]) {
+				p[i] = 0
+			}
+			if math.IsNaN(q[i]) {
+				q[i] = 0
+			}
+			sp += p[i]
+			sq += q[i]
+		}
+		if sp == 0 || sq == 0 {
+			return true
+		}
+		for i := range p {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		psi, err := PSI(p, q)
+		return err == nil && psi >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinSampleIsPMFProperty(t *testing.T) {
+	f := func(sample []float64, gridSeed uint8) bool {
+		xs := sanitize(sample)
+		if len(xs) == 0 {
+			return true
+		}
+		n := int(gridSeed%20) + 2
+		grid := make([]float64, n)
+		for i := range grid {
+			grid[i] = float64(i)
+		}
+		pmf, err := BinSample(xs, grid)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range pmf {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

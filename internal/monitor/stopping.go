@@ -1,0 +1,204 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/dataset"
+	"otfair/internal/kde"
+	"otfair/internal/stat"
+)
+
+// Research-accrual stopping rule (Section VI: "a research question also
+// arises in respect of stopping rules for learning of the marginals for the
+// purpose of designing the OT plan"). Research data with s|u labels is the
+// expensive resource the paper's whole design minimizes; the rule below
+// says when enough has been collected: accrue in batches, re-estimate every
+// (u,s,k) interpolated marginal on a fixed grid, and stop once the
+// estimates have stopped moving.
+
+// StoppingOptions configures the rule.
+type StoppingOptions struct {
+	// Batch is the accrual step size in records (default 50).
+	Batch int
+	// Tol is the mean L1 distance between consecutive marginal estimates
+	// below which a step counts as converged (default 0.05).
+	Tol float64
+	// Patience is the number of consecutive converged steps required
+	// (default 2).
+	Patience int
+	// NQ is the fixed evaluation grid resolution (default 50).
+	NQ int
+	// Kernel and Bandwidth configure the KDE (defaults: Gaussian,
+	// Silverman).
+	Kernel    kde.Kernel
+	Bandwidth kde.Bandwidth
+}
+
+func (o StoppingOptions) withDefaults() StoppingOptions {
+	if o.Batch == 0 {
+		o.Batch = 50
+	}
+	if o.Tol == 0 {
+		o.Tol = 0.05
+	}
+	if o.Patience == 0 {
+		o.Patience = 2
+	}
+	if o.NQ == 0 {
+		o.NQ = 50
+	}
+	return o
+}
+
+// StopPoint is one accrual step of the trace.
+type StopPoint struct {
+	// N is the research size after this step.
+	N int
+	// Delta is the mean L1 distance between this step's marginals and the
+	// previous step's, averaged over (u,s,k) cells.
+	Delta float64
+}
+
+// StoppingResult reports the rule's decision.
+type StoppingResult struct {
+	// NStop is the research size at which the rule stopped, or the full
+	// table size if it never converged.
+	NStop int
+	// Converged reports whether the rule stopped before exhausting data.
+	Converged bool
+	// Trace lists every accrual step.
+	Trace []StopPoint
+}
+
+// ResearchStoppingRule replays sequential research accrual over a labelled
+// table (in its given order, which callers shuffle if needed) and applies
+// the convergence rule. The evaluation grids are fixed from the full
+// table's per-(u,k) ranges so successive estimates are comparable.
+func ResearchStoppingRule(research *dataset.Table, opts StoppingOptions) (*StoppingResult, error) {
+	if research == nil || research.Len() == 0 {
+		return nil, errors.New("monitor: empty research table")
+	}
+	opts = opts.withDefaults()
+	if opts.Batch < 1 || opts.Patience < 1 || opts.NQ < 2 {
+		return nil, fmt.Errorf("monitor: invalid stopping options %+v", opts)
+	}
+	if opts.Tol <= 0 {
+		return nil, errors.New("monitor: tolerance must be positive")
+	}
+
+	// Fixed grids from the full table.
+	grids := make(map[[2]int][]float64) // (u,k) → grid
+	for u := 0; u < 2; u++ {
+		for k := 0; k < research.Dim(); k++ {
+			col := research.UColumn(u, k)
+			if len(col) == 0 {
+				continue
+			}
+			lo, hi, err := stat.MinMax(col)
+			if err != nil {
+				return nil, err
+			}
+			if hi > lo {
+				grids[[2]int{u, k}] = stat.Linspace(lo, hi, opts.NQ)
+			}
+		}
+	}
+	if len(grids) == 0 {
+		return nil, errors.New("monitor: no non-degenerate (u,k) cell to track")
+	}
+
+	res := &StoppingResult{}
+	var prev map[[3]int][]float64
+	streak := 0
+	for n := opts.Batch; ; n += opts.Batch {
+		if n > research.Len() {
+			n = research.Len()
+		}
+		cur, err := marginalsAt(research, n, grids, opts)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: at n=%d: %w", n, err)
+		}
+		if prev != nil {
+			delta, ok := meanL1(prev, cur)
+			if ok {
+				res.Trace = append(res.Trace, StopPoint{N: n, Delta: delta})
+				if delta < opts.Tol {
+					streak++
+					if streak >= opts.Patience {
+						res.NStop = n
+						res.Converged = true
+						return res, nil
+					}
+				} else {
+					streak = 0
+				}
+			}
+		}
+		prev = cur
+		if n == research.Len() {
+			break
+		}
+	}
+	res.NStop = research.Len()
+	return res, nil
+}
+
+// marginalsAt estimates every (u,s,k) marginal from the first n records.
+func marginalsAt(research *dataset.Table, n int, grids map[[2]int][]float64, opts StoppingOptions) (map[[3]int][]float64, error) {
+	cols := make(map[[3]int][]float64)
+	for i := 0; i < n; i++ {
+		rec := research.At(i)
+		if rec.S == dataset.SUnknown {
+			continue
+		}
+		for k, x := range rec.X {
+			key := [3]int{rec.U, rec.S, k}
+			cols[key] = append(cols[key], x)
+		}
+	}
+	out := make(map[[3]int][]float64)
+	for key, col := range cols {
+		grid := grids[[2]int{key[0], key[2]}]
+		if grid == nil || len(col) < 2 {
+			continue
+		}
+		est, err := kde.New(col, opts.Kernel, opts.Bandwidth)
+		if err != nil {
+			return nil, err
+		}
+		pmf, err := est.GridPMF(grid)
+		if err != nil {
+			// Early prefixes can sit entirely outside the full-range grid
+			// only in pathological orderings; treat as not-yet-estimable.
+			continue
+		}
+		out[key] = pmf
+	}
+	return out, nil
+}
+
+// meanL1 averages the L1 distance over cells present in both estimates.
+func meanL1(a, b map[[3]int][]float64) (float64, bool) {
+	sum, n := 0.0, 0
+	for key, pa := range a {
+		pb, ok := b[key]
+		if !ok || len(pa) != len(pb) {
+			continue
+		}
+		d := 0.0
+		for i := range pa {
+			diff := pa[i] - pb[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

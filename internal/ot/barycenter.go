@@ -1,0 +1,309 @@
+package ot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// validateBaryWeights checks the barycentric mixing weights λ.
+func validateBaryWeights(k int, lambdas []float64) error {
+	if len(lambdas) != k {
+		return fmt.Errorf("ot: %d barycenter weights for %d measures", len(lambdas), k)
+	}
+	total := 0.0
+	for _, l := range lambdas {
+		if l < 0 || math.IsNaN(l) {
+			return errors.New("ot: negative or NaN barycenter weight")
+		}
+		total += l
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("ot: barycenter weights sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// QuantileBarycenter computes the exact W₂ barycenter of 1-D measures with
+// mixing weights λ (Eq. 7 of the paper, the geodesic point ν_t for two
+// measures with λ = (1−t, t)). In one dimension the barycenter's quantile
+// function is the λ-weighted average of the input quantile functions
+// (Agueh & Carlier 2011), so the barycenter is supported on at most
+// Σ_s n_s − (k−1) atoms: one per interval between merged CDF breakpoints.
+func QuantileBarycenter(measures []*Measure, lambdas []float64) (*Measure, error) {
+	if len(measures) == 0 {
+		return nil, errors.New("ot: no measures")
+	}
+	for _, m := range measures {
+		if m == nil || m.Len() == 0 {
+			return nil, errors.New("ot: nil or empty measure")
+		}
+	}
+	if err := validateBaryWeights(len(measures), lambdas); err != nil {
+		return nil, err
+	}
+	// Merge all cumulative levels.
+	levels := []float64{0}
+	for _, m := range measures {
+		levels = append(levels, m.cumulative()...)
+	}
+	sort.Float64s(levels)
+	// Deduplicate.
+	uniq := levels[:1]
+	for _, l := range levels[1:] {
+		if l > uniq[len(uniq)-1]+1e-15 {
+			uniq = append(uniq, l)
+		}
+	}
+	if uniq[len(uniq)-1] < 1 {
+		uniq = append(uniq, 1)
+	}
+
+	points := make([]float64, 0, len(uniq)-1)
+	weights := make([]float64, 0, len(uniq)-1)
+	for i := 0; i+1 < len(uniq); i++ {
+		mass := uniq[i+1] - uniq[i]
+		if mass <= 0 {
+			continue
+		}
+		tm := 0.5 * (uniq[i] + uniq[i+1])
+		pos := 0.0
+		for s, m := range measures {
+			pos += lambdas[s] * m.Quantile(tm)
+		}
+		points = append(points, pos)
+		weights = append(weights, mass)
+	}
+	return NewMeasure(points, weights)
+}
+
+// Geodesic returns the point ν_t on the W₂ geodesic between µ0 and µ1
+// (Eq. 7); t = 0.5 is the paper's fair repair target.
+func Geodesic(mu0, mu1 *Measure, t float64) (*Measure, error) {
+	if t < 0 || t > 1 || math.IsNaN(t) {
+		return nil, fmt.Errorf("ot: geodesic parameter t = %v outside [0,1]", t)
+	}
+	return QuantileBarycenter([]*Measure{mu0, mu1}, []float64{1 - t, t})
+}
+
+// ProjectOntoGrid redistributes a measure's mass onto an ascending grid by
+// splitting each atom linearly between its two neighbouring grid states —
+// the same two-neighbour convention Algorithm 2 uses for data points, so
+// the projection is mean-preserving for interior atoms. Mass outside the
+// grid range is clamped to the boundary states. The result is a pmf aligned
+// with the grid.
+func ProjectOntoGrid(m *Measure, grid []float64) ([]float64, error) {
+	if m == nil || m.Len() == 0 {
+		return nil, errors.New("ot: nil or empty measure")
+	}
+	if len(grid) == 0 {
+		return nil, errors.New("ot: empty grid")
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			return nil, fmt.Errorf("ot: grid not strictly ascending at index %d", i)
+		}
+	}
+	pmf := make([]float64, len(grid))
+	for i, pos := range m.points {
+		mass := m.weights[i]
+		switch {
+		case pos <= grid[0]:
+			pmf[0] += mass
+		case pos >= grid[len(grid)-1]:
+			pmf[len(grid)-1] += mass
+		default:
+			// Largest q with grid[q] <= pos.
+			q := sort.SearchFloat64s(grid, pos)
+			if q == len(grid) || grid[q] > pos {
+				q--
+			}
+			if grid[q] == pos {
+				pmf[q] += mass
+				continue
+			}
+			tau := (pos - grid[q]) / (grid[q+1] - grid[q])
+			pmf[q] += mass * (1 - tau)
+			pmf[q+1] += mass * tau
+		}
+	}
+	return pmf, nil
+}
+
+// GridBarycenter computes the W₂ barycenter of pmfs that share an ascending
+// support grid and projects it back onto that grid: the ν_{u,k} of
+// Algorithm 1 line 9. This is the default barycenter used by the repair.
+func GridBarycenter(grid []float64, pmfs [][]float64, lambdas []float64) ([]float64, error) {
+	if len(pmfs) == 0 {
+		return nil, errors.New("ot: no pmfs")
+	}
+	measures := make([]*Measure, len(pmfs))
+	for s, pmf := range pmfs {
+		m, err := OnGrid(grid, pmf)
+		if err != nil {
+			return nil, fmt.Errorf("ot: pmf %d: %w", s, err)
+		}
+		measures[s] = m
+	}
+	bary, err := QuantileBarycenter(measures, lambdas)
+	if err != nil {
+		return nil, err
+	}
+	return ProjectOntoGrid(bary, grid)
+}
+
+// BregmanOptions configures the iterative-Bregman fixed-support barycenter.
+type BregmanOptions struct {
+	// Epsilon is the entropic regularization (default 5e-3·maxCost).
+	Epsilon float64
+	// MaxIter bounds the outer iterations (default 2000).
+	MaxIter int
+	// Tol is the L1 change in the barycenter between sweeps that stops the
+	// iteration (default 1e-10).
+	Tol float64
+}
+
+// BregmanBarycenter computes the entropically regularized W₂ barycenter of
+// pmfs on a shared grid by iterative Bregman projections (Benamou et al.
+// 2015). It is the regularized alternative mentioned in Section VI of the
+// paper and is exposed as a design ablation; the exact quantile method is
+// the default.
+func BregmanBarycenter(grid []float64, pmfs [][]float64, lambdas []float64, opts BregmanOptions) ([]float64, error) {
+	cost, err := NewCostMatrix(grid, grid, SquaredEuclidean)
+	if err != nil {
+		return nil, err
+	}
+	return BregmanBarycenterCost(cost, pmfs, lambdas, opts)
+}
+
+// BregmanBarycenterCost is BregmanBarycenter over an arbitrary shared
+// support described only by its pairwise cost matrix, which must be square.
+// This is the entry point for multivariate (product-grid) supports, where
+// the states are points in R^d rather than a 1-D grid.
+func BregmanBarycenterCost(cost *CostMatrix, pmfs [][]float64, lambdas []float64, opts BregmanOptions) ([]float64, error) {
+	k := len(pmfs)
+	if k == 0 {
+		return nil, errors.New("ot: no pmfs")
+	}
+	if err := validateBaryWeights(k, lambdas); err != nil {
+		return nil, err
+	}
+	n, m := cost.Dims()
+	if n != m {
+		return nil, fmt.Errorf("ot: barycenter needs a square cost, got %d×%d", n, m)
+	}
+	for s, pmf := range pmfs {
+		if len(pmf) != n {
+			return nil, fmt.Errorf("ot: pmf %d has %d states, support has %d", s, len(pmf), n)
+		}
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 5e-3 * (1 + cost.Max())
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 2000
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+
+	// Gibbs kernel.
+	kMat := make([][]float64, n)
+	for i := range kMat {
+		kMat[i] = make([]float64, n)
+		for j := range kMat[i] {
+			kMat[i][j] = math.Exp(-cost.At(i, j) / opts.Epsilon)
+		}
+	}
+	const tiny = 1e-300
+	matVec := func(x []float64) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			row := kMat[i]
+			for j := 0; j < n; j++ {
+				s += row[j] * x[j]
+			}
+			if s < tiny {
+				s = tiny
+			}
+			out[i] = s
+		}
+		return out
+	}
+
+	// Normalize inputs defensively; floor zero cells so divisions stay
+	// finite (the entropic barycenter has full support anyway).
+	p := make([][]float64, k)
+	for s := range pmfs {
+		p[s] = make([]float64, n)
+		total := 0.0
+		for j, v := range pmfs[s] {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("ot: pmf %d has invalid mass at state %d", s, j)
+			}
+			p[s][j] = v
+			total += v
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("ot: pmf %d has zero mass", s)
+		}
+		for j := range p[s] {
+			p[s][j] /= total
+		}
+	}
+
+	v := make([][]float64, k)
+	for s := range v {
+		v[s] = make([]float64, n)
+		for j := range v[s] {
+			v[s][j] = 1
+		}
+	}
+	bary := make([]float64, n)
+	prev := make([]float64, n)
+	for it := 0; it < opts.MaxIter; it++ {
+		// u_s = p_s ./ (K v_s);  bary = Π_s (Kᵀ u_s)^{λ_s} (K symmetric here).
+		logBary := make([]float64, n)
+		ktu := make([][]float64, k)
+		for s := 0; s < k; s++ {
+			kv := matVec(v[s])
+			u := make([]float64, n)
+			for j := range u {
+				u[j] = p[s][j] / kv[j]
+			}
+			ktu[s] = matVec(u)
+			for j := range logBary {
+				logBary[j] += lambdas[s] * math.Log(math.Max(ktu[s][j], tiny))
+			}
+		}
+		for j := range bary {
+			bary[j] = math.Exp(logBary[j])
+		}
+		for s := 0; s < k; s++ {
+			for j := range v[s] {
+				v[s][j] = bary[j] / ktu[s][j]
+			}
+		}
+		diff := 0.0
+		for j := range bary {
+			diff += math.Abs(bary[j] - prev[j])
+		}
+		copy(prev, bary)
+		if it > 0 && diff < opts.Tol {
+			break
+		}
+	}
+	total := 0.0
+	for _, v := range bary {
+		total += v
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return nil, errors.New("ot: Bregman barycenter collapsed to zero mass (epsilon too small)")
+	}
+	for j := range bary {
+		bary[j] /= total
+	}
+	return bary, nil
+}

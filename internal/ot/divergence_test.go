@@ -1,0 +1,68 @@
+package ot
+
+import (
+	"math"
+	"testing"
+
+	"otfair/internal/rng"
+)
+
+func TestSinkhornDivergenceZeroOnIdentical(t *testing.T) {
+	m := MustMeasure([]float64{0, 1, 2, 3}, []float64{1, 2, 2, 1})
+	s, err := SinkhornDivergence(m, m, SinkhornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s) > 1e-6 {
+		t.Errorf("S(µ,µ) = %v", s)
+	}
+}
+
+func TestSinkhornDivergenceTracksW2(t *testing.T) {
+	// For small epsilon, S_ε ≈ W2²; check order-of-magnitude agreement and
+	// monotonicity in separation.
+	r := rng.New(301)
+	base := randomMeasure(r, 12)
+	prev := -1.0
+	for _, shift := range []float64{0.5, 1.0, 2.0} {
+		pts := make([]float64, base.Len())
+		for i, p := range base.Points() {
+			pts[i] = p + shift
+		}
+		shifted := MustMeasure(pts, base.Weights())
+		s, err := SinkhornDivergence(base, shifted, SinkhornOptions{Epsilon: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= prev {
+			t.Errorf("S_ε not increasing with separation at shift %v: %v <= %v", shift, s, prev)
+		}
+		prev = s
+		w2, _ := Wasserstein2(base, shifted)
+		if s < 0.3*w2*w2 || s > 3*w2*w2 {
+			t.Errorf("shift %v: S_ε = %v far from W2² = %v", shift, s, w2*w2)
+		}
+	}
+}
+
+func TestSinkhornDivergenceNonNegative(t *testing.T) {
+	r := rng.New(302)
+	for trial := 0; trial < 10; trial++ {
+		a := randomMeasure(r, 2+r.IntN(8))
+		b := randomMeasure(r, 2+r.IntN(8))
+		s, err := SinkhornDivergence(a, b, SinkhornOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 {
+			t.Errorf("trial %d: S_ε = %v < 0", trial, s)
+		}
+	}
+}
+
+func TestSinkhornDivergenceNilMeasure(t *testing.T) {
+	m := MustMeasure([]float64{0}, []float64{1})
+	if _, err := SinkhornDivergence(nil, m, SinkhornOptions{}); err == nil {
+		t.Error("nil measure accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package ot
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMeasureSortsAndNormalizes(t *testing.T) {
+	m, err := NewMeasure([]float64{3, 1, 2}, []float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := m.Points()
+	if pts[0] != 1 || pts[1] != 2 || pts[2] != 3 {
+		t.Errorf("points = %v", pts)
+	}
+	w := m.Weights()
+	if math.Abs(w[0]-0.25) > 1e-12 || math.Abs(w[1]-0.5) > 1e-12 {
+		t.Errorf("weights = %v", w)
+	}
+}
+
+func TestNewMeasureMergesDuplicates(t *testing.T) {
+	m, err := NewMeasure([]float64{1, 1, 2}, []float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if math.Abs(m.Weights()[0]-0.5) > 1e-12 {
+		t.Errorf("merged weight = %v", m.Weights()[0])
+	}
+}
+
+func TestNewMeasureErrors(t *testing.T) {
+	if _, err := NewMeasure(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewMeasure([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewMeasure([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewMeasure([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, err := NewMeasure([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN point accepted")
+	}
+	if _, err := NewMeasure([]float64{math.Inf(1)}, []float64{1}); err == nil {
+		t.Error("Inf point accepted")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	m, err := Empirical([]float64{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range m.Weights() {
+		if math.Abs(w-1.0/3) > 1e-12 {
+			t.Errorf("weights = %v", m.Weights())
+		}
+	}
+}
+
+func TestOnGrid(t *testing.T) {
+	m, err := OnGrid([]float64{0, 1, 2}, []float64{0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-mass grid point retained.
+	if m.Len() != 3 || m.Weights()[0] != 0 {
+		t.Errorf("OnGrid = %v / %v", m.Points(), m.Weights())
+	}
+	if _, err := OnGrid([]float64{0, 0, 1}, []float64{1, 1, 1}); err == nil {
+		t.Error("non-ascending grid accepted")
+	}
+	if _, err := OnGrid([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := OnGrid([]float64{0, 1}, []float64{0, 0}); err == nil {
+		t.Error("zero-mass pmf accepted")
+	}
+}
+
+func TestMeasureMoments(t *testing.T) {
+	m := MustMeasure([]float64{0, 2}, []float64{1, 1})
+	if got := m.Mean(); got != 1 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := m.Variance(); got != 1 {
+		t.Errorf("variance = %v", got)
+	}
+}
+
+func TestMeasureCDFQuantile(t *testing.T) {
+	m := MustMeasure([]float64{0, 1, 2}, []float64{1, 1, 2})
+	if got := m.CDF(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("CDF(0.5) = %v", got)
+	}
+	if got := m.CDF(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(1) = %v", got)
+	}
+	if got := m.Quantile(0.6); got != 2 {
+		t.Errorf("Quantile(0.6) = %v", got)
+	}
+	if got := m.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := m.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+}

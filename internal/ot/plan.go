@@ -1,0 +1,225 @@
+package ot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is one atom of a transport plan: mass moved from source state I to
+// target state J.
+type Entry struct {
+	I, J int
+	Mass float64
+}
+
+// Plan is a Kantorovich coupling between an n-state source and an m-state
+// target, stored sparsely. Exact 1-D plans have at most n+m−1 atoms, so the
+// sparse form is what makes repairing large research sets (the geometric
+// baseline on Adult) feasible; Dense materializes the full matrix when a
+// caller wants it.
+type Plan struct {
+	n, m    int
+	entries []Entry
+	// rowStart[i]..rowStart[i+1] indexes entries of row i once finalized.
+	rowStart []int
+}
+
+// NewPlan assembles a plan from entries, validating indices and mass
+// non-negativity, merging duplicates, and sorting row-major.
+func NewPlan(n, m int, entries []Entry) (*Plan, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("ot: plan dimensions must be positive, got %d×%d", n, m)
+	}
+	es := append([]Entry(nil), entries...)
+	for _, e := range es {
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= m {
+			return nil, fmt.Errorf("ot: plan entry (%d,%d) outside %d×%d", e.I, e.J, n, m)
+		}
+		if e.Mass < 0 || math.IsNaN(e.Mass) {
+			return nil, fmt.Errorf("ot: plan entry (%d,%d) has invalid mass %v", e.I, e.J, e.Mass)
+		}
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].I != es[b].I {
+			return es[a].I < es[b].I
+		}
+		return es[a].J < es[b].J
+	})
+	// Merge duplicates and drop zero-mass atoms.
+	merged := es[:0]
+	for _, e := range es {
+		if e.Mass == 0 {
+			continue
+		}
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.I == e.I && last.J == e.J {
+				last.Mass += e.Mass
+				continue
+			}
+		}
+		merged = append(merged, e)
+	}
+	p := &Plan{n: n, m: m, entries: merged}
+	p.index()
+	return p, nil
+}
+
+func (p *Plan) index() {
+	p.rowStart = make([]int, p.n+1)
+	for _, e := range p.entries {
+		p.rowStart[e.I+1]++
+	}
+	for i := 0; i < p.n; i++ {
+		p.rowStart[i+1] += p.rowStart[i]
+	}
+}
+
+// Dims reports the (source, target) state counts.
+func (p *Plan) Dims() (n, m int) { return p.n, p.m }
+
+// Entries returns the atoms in row-major order (not a copy).
+func (p *Plan) Entries() []Entry { return p.entries }
+
+// NNZ reports the number of non-zero atoms.
+func (p *Plan) NNZ() int { return len(p.entries) }
+
+// Row returns the atoms of source row i (a sub-slice, not a copy).
+func (p *Plan) Row(i int) []Entry {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("ot: row %d out of %d", i, p.n))
+	}
+	return p.entries[p.rowStart[i]:p.rowStart[i+1]]
+}
+
+// RowMass returns the total mass of row i.
+func (p *Plan) RowMass(i int) float64 {
+	s := 0.0
+	for _, e := range p.Row(i) {
+		s += e.Mass
+	}
+	return s
+}
+
+// SourceMarginal returns the push-forward onto the source states
+// (T_{x0}♯π in the paper's notation).
+func (p *Plan) SourceMarginal() []float64 {
+	out := make([]float64, p.n)
+	for _, e := range p.entries {
+		out[e.I] += e.Mass
+	}
+	return out
+}
+
+// TargetMarginal returns the push-forward onto the target states.
+func (p *Plan) TargetMarginal() []float64 {
+	out := make([]float64, p.m)
+	for _, e := range p.entries {
+		out[e.J] += e.Mass
+	}
+	return out
+}
+
+// TotalMass returns the total transported mass (1 for a coupling of
+// probability measures).
+func (p *Plan) TotalMass() float64 {
+	s := 0.0
+	for _, e := range p.entries {
+		s += e.Mass
+	}
+	return s
+}
+
+// Cost returns Σ_ij π_ij · c(i,j) under the given cost function.
+func (p *Plan) Cost(cost func(i, j int) float64) float64 {
+	s := 0.0
+	for _, e := range p.entries {
+		s += e.Mass * cost(e.I, e.J)
+	}
+	return s
+}
+
+// Dense materializes the full n×m matrix.
+func (p *Plan) Dense() [][]float64 {
+	out := make([][]float64, p.n)
+	buf := make([]float64, p.n*p.m)
+	for i := range out {
+		out[i], buf = buf[:p.m], buf[p.m:]
+	}
+	for _, e := range p.entries {
+		out[e.I][e.J] += e.Mass
+	}
+	return out
+}
+
+// CheckMarginals verifies that the plan's marginals match the given source
+// and target pmfs within tol (L∞). It is the invariant behind Eq. (5)'s
+// constraint set Π(µ0, µ1) and is exercised heavily by the property tests.
+func (p *Plan) CheckMarginals(source, target []float64, tol float64) error {
+	if len(source) != p.n || len(target) != p.m {
+		return errors.New("ot: marginal length mismatch")
+	}
+	sm := p.SourceMarginal()
+	for i := range sm {
+		if math.Abs(sm[i]-source[i]) > tol {
+			return fmt.Errorf("ot: source marginal %d is %v, want %v", i, sm[i], source[i])
+		}
+	}
+	tm := p.TargetMarginal()
+	for j := range tm {
+		if math.Abs(tm[j]-target[j]) > tol {
+			return fmt.Errorf("ot: target marginal %d is %v, want %v", j, tm[j], target[j])
+		}
+	}
+	return nil
+}
+
+// RowConditional returns row i normalized into a conditional pmf over the
+// target states, as index and mass slices aligned with each other. This is
+// the multinomial M(·) of Eq. (15) that Algorithm 2 samples repairs from.
+// Rows with zero mass return ok == false; Algorithm 2 treats those as
+// "no plan evidence" and falls back to the nearest massive row.
+func (p *Plan) RowConditional(i int) (targets []int, probs []float64, ok bool) {
+	row := p.Row(i)
+	total := 0.0
+	for _, e := range row {
+		total += e.Mass
+	}
+	if total <= 0 {
+		return nil, nil, false
+	}
+	targets = make([]int, len(row))
+	probs = make([]float64, len(row))
+	for k, e := range row {
+		targets[k] = e.J
+		probs[k] = e.Mass / total
+	}
+	return targets, probs, true
+}
+
+// BarycentricProjection returns, for each source state, the conditional
+// mean of the target support under the plan: T(i) = Σ_j π_ij y_j / Σ_j π_ij.
+// This is the deterministic (Monge-like) repair map that the geometric
+// method of Eq. (8)–(9) applies, and the deterministic alternative to
+// Algorithm 2's stochastic draw. Rows with no mass yield NaN.
+func (p *Plan) BarycentricProjection(targetPoints []float64) ([]float64, error) {
+	if len(targetPoints) != p.m {
+		return nil, fmt.Errorf("ot: %d target points for %d target states", len(targetPoints), p.m)
+	}
+	out := make([]float64, p.n)
+	mass := make([]float64, p.n)
+	for _, e := range p.entries {
+		out[e.I] += e.Mass * targetPoints[e.J]
+		mass[e.I] += e.Mass
+	}
+	for i := range out {
+		if mass[i] > 0 {
+			out[i] /= mass[i]
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out, nil
+}

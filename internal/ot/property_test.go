@@ -1,0 +1,203 @@
+package ot
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"otfair/internal/rng"
+	"otfair/internal/stat"
+)
+
+// Property tests on the OT layer: these run randomized instances through
+// the solvers and check the invariants the repair pipeline depends on.
+
+func TestPropertySimplexNeverBeatsItselfUnderRestriction(t *testing.T) {
+	// Optimality certificate: restricting any plan's mass to a random
+	// feasible perturbation cannot lower the simplex cost. We verify the
+	// weaker—but still discriminating—property that the simplex cost is a
+	// lower bound over many random feasible plans built by rounding.
+	r := rng.New(401)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.IntN(6)
+		m := 2 + r.IntN(6)
+		a := randomPMF(r, n)
+		b := randomPMF(r, m)
+		xs := randomPoints(r, n)
+		ys := randomPoints(r, m)
+		cost, err := NewCostMatrix(xs, ys, SquaredEuclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Simplex(a, b, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCost := opt.Cost(cost.At)
+		// Independent coupling a⊗b is always feasible.
+		indep := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				indep += a[i] * b[j] * cost.At(i, j)
+			}
+		}
+		if optCost > indep+1e-9 {
+			t.Errorf("trial %d: simplex cost %v above independent coupling %v", trial, optCost, indep)
+		}
+	}
+}
+
+func TestPropertyMonotoneCostLowerBoundsW1TimesDiameter(t *testing.T) {
+	// W2² ≤ diameter · W1 on bounded supports (Hölder); a cheap sanity
+	// relation between the two exact solvers.
+	r := rng.New(402)
+	for trial := 0; trial < 20; trial++ {
+		mu := randomMeasure(r, 2+r.IntN(10))
+		nu := randomMeasure(r, 2+r.IntN(10))
+		w1, err := Wasserstein1(mu, nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Wasserstein2(mu, nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := math.Min(mu.Points()[0], nu.Points()[0])
+		hi := math.Max(mu.Points()[mu.Len()-1], nu.Points()[nu.Len()-1])
+		diam := hi - lo
+		if w2*w2 > diam*w1+1e-9 {
+			t.Errorf("trial %d: W2² %v > diam·W1 %v", trial, w2*w2, diam*w1)
+		}
+		if w1 > w2+1e-9 { // Jensen: W1 ≤ W2
+			t.Errorf("trial %d: W1 %v above W2 %v", trial, w1, w2)
+		}
+	}
+}
+
+func TestPropertyBarycenterMassAndSupport(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		mu := randomMeasure(r, 1+r.IntN(15))
+		nu := randomMeasure(r, 1+r.IntN(15))
+		tPar := r.Float64()
+		bary, err := Geodesic(mu, nu, tPar)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, w := range bary.Weights() {
+			if w < 0 {
+				return false
+			}
+			total += w
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return false
+		}
+		// Support containment: barycenter atoms lie in the convex hull of
+		// the two supports.
+		lo := math.Min(mu.Points()[0], nu.Points()[0])
+		hi := math.Max(mu.Points()[mu.Len()-1], nu.Points()[nu.Len()-1])
+		for _, p := range bary.Points() {
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGeodesicInterpolatesDistance(t *testing.T) {
+	// W2(µ0, ν_t) = t·W2(µ0, µ1) along the geodesic, for any t.
+	r := rng.New(403)
+	for trial := 0; trial < 15; trial++ {
+		mu := randomMeasure(r, 2+r.IntN(10))
+		nu := randomMeasure(r, 2+r.IntN(10))
+		tPar := r.Float64()
+		bary, err := Geodesic(mu, nu, tPar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d01, _ := Wasserstein2(mu, nu)
+		d0t, _ := Wasserstein2(mu, bary)
+		if math.Abs(d0t-tPar*d01) > 1e-6*(1+d01) {
+			t.Errorf("trial %d: W2(µ0,ν_%v) = %v, want %v", trial, tPar, d0t, tPar*d01)
+		}
+	}
+}
+
+func TestPropertySinkhornMarginalFeasibility(t *testing.T) {
+	r := rng.New(404)
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + r.IntN(8)
+		m := 2 + r.IntN(8)
+		a := randomPMF(r, n)
+		b := randomPMF(r, m)
+		cost, err := NewCostMatrix(randomPoints(r, n), randomPoints(r, m), SquaredEuclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Sinkhorn(a, b, cost, SinkhornOptions{MaxIter: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rounding guarantees feasibility regardless of convergence.
+		if err := res.Plan.CheckMarginals(a, b, 1e-8); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyPlanDenseSparseConsistency(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		mu := randomMeasure(r, 1+r.IntN(12))
+		nu := randomMeasure(r, 1+r.IntN(12))
+		plan, err := Monotone(mu, nu)
+		if err != nil {
+			return false
+		}
+		dense := plan.Dense()
+		total := 0.0
+		for i := range dense {
+			rowMass := 0.0
+			for _, v := range dense[i] {
+				total += v
+				rowMass += v
+			}
+			if math.Abs(rowMass-plan.RowMass(i)) > 1e-12 {
+				return false
+			}
+		}
+		return math.Abs(total-plan.TotalMass()) < 1e-9
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func randomPMF(r *rng.RNG, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = r.Float64() + 0.05
+	}
+	out, err := stat.Normalize(w)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func randomPoints(r *rng.RNG, n int) []float64 {
+	// Strictly ascending random support.
+	out := make([]float64, n)
+	x := r.Uniform(-5, 0)
+	for i := range out {
+		x += 0.05 + r.Float64()
+		out[i] = x
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package ot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SinkhornOptions configures the entropically regularized solver.
+type SinkhornOptions struct {
+	// Epsilon is the entropic regularization strength. If zero, it defaults
+	// to 1e-2 times the maximum cost, a scale-free choice that keeps the
+	// Gibbs kernel well conditioned.
+	Epsilon float64
+	// MaxIter bounds the number of Sinkhorn sweeps (default 10000).
+	MaxIter int
+	// Tol is the L1 marginal-error stopping threshold (default 1e-9).
+	Tol float64
+}
+
+func (o SinkhornOptions) withDefaults(cost *CostMatrix) SinkhornOptions {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-2 * (1 + cost.Max())
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// SinkhornResult reports the solver outcome alongside the plan.
+type SinkhornResult struct {
+	Plan *Plan
+	// Iterations actually performed.
+	Iterations int
+	// MarginalErr is the final L1 deviation of the plan's source marginal.
+	MarginalErr float64
+	// Converged records whether MarginalErr fell below Tol before MaxIter.
+	Converged bool
+}
+
+// Sinkhorn solves the entropically regularized OT problem
+//
+//	min_π Σ c_ij π_ij + ε Σ π_ij (log π_ij − 1)
+//
+// with log-domain (stabilized) Sinkhorn–Knopp iterations, the
+// O(n_Q²/ε²)-complexity alternative discussed in Section IV-A1 of the
+// paper. Zero-mass marginal states are dropped and restored, matching the
+// exact solvers' convention.
+//
+// The returned plan is dense over the positive-mass states, so it has up to
+// n·m atoms, unlike the sparse exact plans.
+func Sinkhorn(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*SinkhornResult, error) {
+	n, m := cost.Dims()
+	if len(a) != n || len(b) != m {
+		return nil, fmt.Errorf("ot: marginals %d/%d do not match cost %d×%d", len(a), len(b), n, m)
+	}
+	opts = opts.withDefaults(cost)
+
+	rowIdx := make([]int, 0, n)
+	colIdx := make([]int, 0, m)
+	sa, sb := 0.0, 0.0
+	for i, v := range a {
+		if v < 0 || math.IsNaN(v) {
+			return nil, errors.New("ot: negative or NaN source mass")
+		}
+		if v > 0 {
+			rowIdx = append(rowIdx, i)
+			sa += v
+		}
+	}
+	for j, v := range b {
+		if v < 0 || math.IsNaN(v) {
+			return nil, errors.New("ot: negative or NaN target mass")
+		}
+		if v > 0 {
+			colIdx = append(colIdx, j)
+			sb += v
+		}
+	}
+	if sa <= 0 || sb <= 0 {
+		return nil, errors.New("ot: zero total mass")
+	}
+	if math.Abs(sa-sb) > 1e-6*(sa+sb) {
+		return nil, fmt.Errorf("ot: unbalanced problem (source mass %v, target mass %v)", sa, sb)
+	}
+	nn, mm := len(rowIdx), len(colIdx)
+
+	logA := make([]float64, nn)
+	logB := make([]float64, mm)
+	for i, ri := range rowIdx {
+		logA[i] = math.Log(a[ri] / sa)
+	}
+	for j, cj := range colIdx {
+		logB[j] = math.Log(b[cj] / sb)
+	}
+
+	eps := opts.Epsilon
+	// Potentials f, g (scaled by 1/eps inside the LSE computations).
+	f := make([]float64, nn)
+	g := make([]float64, mm)
+	// Work buffers for log-sum-exp rows/cols.
+	buf := make([]float64, mm)
+	bufN := make([]float64, nn)
+
+	costAt := func(i, j int) float64 { return cost.At(rowIdx[i], colIdx[j]) }
+
+	iter := 0
+	errL1 := math.Inf(1)
+	for ; iter < opts.MaxIter; iter++ {
+		// f_i ← ε·logA_i − ε·LSE_j((g_j − c_ij)/ε)
+		for i := 0; i < nn; i++ {
+			for j := 0; j < mm; j++ {
+				buf[j] = (g[j] - costAt(i, j)) / eps
+			}
+			f[i] = eps * (logA[i] - logSumExp(buf))
+		}
+		// g_j ← ε·logB_j − ε·LSE_i((f_i − c_ij)/ε)
+		for j := 0; j < mm; j++ {
+			for i := 0; i < nn; i++ {
+				bufN[i] = (f[i] - costAt(i, j)) / eps
+			}
+			g[j] = eps * (logB[j] - logSumExp(bufN))
+		}
+		// After a g-update the column marginals are exact; check rows.
+		errL1 = 0
+		for i := 0; i < nn; i++ {
+			rowMass := 0.0
+			for j := 0; j < mm; j++ {
+				rowMass += math.Exp((f[i] + g[j] - costAt(i, j)) / eps)
+			}
+			errL1 += math.Abs(rowMass - math.Exp(logA[i]))
+		}
+		if errL1 < opts.Tol {
+			iter++
+			break
+		}
+	}
+
+	// Materialize the Gibbs plan and round it onto the feasible polytope
+	// (Altschuler, Niles-Weed & Rigollet 2017): scale rows then columns down
+	// to their targets, and distribute the residual as a rank-one patch.
+	// Without this step an unconverged plan can report a transport cost
+	// below the true optimum because it is not a coupling at all.
+	pi := make([][]float64, nn)
+	for i := range pi {
+		pi[i] = make([]float64, mm)
+		for j := 0; j < mm; j++ {
+			pi[i][j] = math.Exp((f[i] + g[j] - costAt(i, j)) / eps)
+		}
+	}
+	aw := make([]float64, nn)
+	bw := make([]float64, mm)
+	for i, ri := range rowIdx {
+		aw[i] = a[ri] / sa
+	}
+	for j, cj := range colIdx {
+		bw[j] = b[cj] / sb
+	}
+	roundToFeasible(pi, aw, bw)
+
+	entries := make([]Entry, 0, nn*mm)
+	for i := 0; i < nn; i++ {
+		for j := 0; j < mm; j++ {
+			if mass := pi[i][j]; mass > 0 {
+				entries = append(entries, Entry{I: rowIdx[i], J: colIdx[j], Mass: mass})
+			}
+		}
+	}
+	plan, err := NewPlan(n, m, entries)
+	if err != nil {
+		return nil, err
+	}
+	return &SinkhornResult{
+		Plan:        plan,
+		Iterations:  iter,
+		MarginalErr: errL1,
+		Converged:   errL1 < opts.Tol,
+	}, nil
+}
+
+// roundToFeasible projects an approximate plan onto the transport polytope
+// {π ≥ 0 : π1 = a, πᵀ1 = b} in place. Rows are scaled down to at most their
+// target mass, then columns likewise, then the remaining deficit is filled
+// with the rank-one matrix err_a·err_bᵀ/‖err_a‖₁, which is non-negative and
+// restores both marginals exactly.
+func roundToFeasible(pi [][]float64, a, b []float64) {
+	nn, mm := len(pi), len(b)
+	for i := 0; i < nn; i++ {
+		rowMass := 0.0
+		for j := 0; j < mm; j++ {
+			rowMass += pi[i][j]
+		}
+		if rowMass > a[i] && rowMass > 0 {
+			scale := a[i] / rowMass
+			for j := 0; j < mm; j++ {
+				pi[i][j] *= scale
+			}
+		}
+	}
+	colMass := make([]float64, mm)
+	for i := 0; i < nn; i++ {
+		for j := 0; j < mm; j++ {
+			colMass[j] += pi[i][j]
+		}
+	}
+	for j := 0; j < mm; j++ {
+		if colMass[j] > b[j] && colMass[j] > 0 {
+			scale := b[j] / colMass[j]
+			for i := 0; i < nn; i++ {
+				pi[i][j] *= scale
+			}
+		}
+	}
+	errA := make([]float64, nn)
+	errB := make([]float64, mm)
+	deficit := 0.0
+	for i := 0; i < nn; i++ {
+		rowMass := 0.0
+		for j := 0; j < mm; j++ {
+			rowMass += pi[i][j]
+		}
+		errA[i] = a[i] - rowMass
+		if errA[i] < 0 {
+			errA[i] = 0
+		}
+		deficit += errA[i]
+	}
+	for j := 0; j < mm; j++ {
+		colMass := 0.0
+		for i := 0; i < nn; i++ {
+			colMass += pi[i][j]
+		}
+		errB[j] = b[j] - colMass
+		if errB[j] < 0 {
+			errB[j] = 0
+		}
+	}
+	if deficit > 0 {
+		for i := 0; i < nn; i++ {
+			if errA[i] == 0 {
+				continue
+			}
+			for j := 0; j < mm; j++ {
+				pi[i][j] += errA[i] * errB[j] / deficit
+			}
+		}
+	}
+}
+
+// logSumExp computes log Σ exp(x_i) stably.
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return math.Inf(-1)
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Exp(x - max)
+	}
+	return max + math.Log(s)
+}

@@ -1,0 +1,368 @@
+package ot
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"otfair/internal/rng"
+)
+
+// randomMeasure builds a random measure with n atoms for property tests.
+func randomMeasure(r *rng.RNG, n int) *Measure {
+	pts := make([]float64, n)
+	ws := make([]float64, n)
+	for i := range pts {
+		pts[i] = r.Uniform(-10, 10)
+		ws[i] = r.Float64() + 0.01
+	}
+	return MustMeasure(pts, ws)
+}
+
+func TestMonotoneIdentity(t *testing.T) {
+	m := MustMeasure([]float64{1, 2, 3}, []float64{1, 2, 1})
+	plan, err := Monotone(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := plan.Cost(func(i, j int) float64 {
+		return SquaredEuclidean(m.Points()[i], m.Points()[j])
+	})
+	if cost > 1e-15 {
+		t.Errorf("self-transport cost = %v", cost)
+	}
+	// Identity plan is diagonal.
+	for _, e := range plan.Entries() {
+		if e.I != e.J {
+			t.Errorf("off-diagonal entry %+v in self plan", e)
+		}
+	}
+}
+
+func TestMonotoneKnownPlan(t *testing.T) {
+	// µ = ½δ0 + ½δ1, ν = ½δ2 + ½δ3: monotone matches in order.
+	mu := MustMeasure([]float64{0, 1}, []float64{1, 1})
+	nu := MustMeasure([]float64{2, 3}, []float64{1, 1})
+	plan, err := Monotone(mu, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := plan.Dense()
+	if math.Abs(dense[0][0]-0.5) > 1e-12 || math.Abs(dense[1][1]-0.5) > 1e-12 {
+		t.Errorf("plan = %v", dense)
+	}
+	if dense[0][1] != 0 || dense[1][0] != 0 {
+		t.Errorf("anti-monotone mass present: %v", dense)
+	}
+}
+
+func TestMonotoneMassSplit(t *testing.T) {
+	// µ = δ0, ν = ½δ1 + ½δ3: the single source must split.
+	mu := MustMeasure([]float64{0}, []float64{1})
+	nu := MustMeasure([]float64{1, 3}, []float64{1, 1})
+	plan, err := Monotone(mu, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NNZ() != 2 {
+		t.Fatalf("expected 2 atoms, got %d", plan.NNZ())
+	}
+	if err := plan.CheckMarginals(mu.Weights(), nu.Weights(), 1e-12); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneMarginalsProperty(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 50; trial++ {
+		mu := randomMeasure(r, 1+r.IntN(30))
+		nu := randomMeasure(r, 1+r.IntN(30))
+		plan, err := Monotone(mu, nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.CheckMarginals(mu.Weights(), nu.Weights(), 1e-9); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+		if plan.NNZ() > mu.Len()+nu.Len()-1 {
+			t.Errorf("trial %d: %d atoms > n+m-1", trial, plan.NNZ())
+		}
+	}
+}
+
+func TestMonotonePlanIsMonotoneProperty(t *testing.T) {
+	// The optimal 1-D plan never crosses: entries sorted by I have
+	// non-decreasing J ranges.
+	r := rng.New(103)
+	for trial := 0; trial < 30; trial++ {
+		mu := randomMeasure(r, 2+r.IntN(20))
+		nu := randomMeasure(r, 2+r.IntN(20))
+		plan, err := Monotone(mu, nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es := plan.Entries()
+		for k := 1; k < len(es); k++ {
+			if es[k].I < es[k-1].I || (es[k].I == es[k-1].I && es[k].J < es[k-1].J) {
+				t.Fatalf("entries not row-major sorted")
+			}
+			if es[k].I > es[k-1].I && es[k].J < es[k-1].J {
+				t.Errorf("trial %d: crossing transport (%d,%d) after (%d,%d)",
+					trial, es[k].I, es[k].J, es[k-1].I, es[k-1].J)
+			}
+		}
+	}
+}
+
+func TestSimplexMatchesMonotoneOnConvexCost(t *testing.T) {
+	r := rng.New(107)
+	for trial := 0; trial < 25; trial++ {
+		mu := randomMeasure(r, 2+r.IntN(15))
+		nu := randomMeasure(r, 2+r.IntN(15))
+		cost, err := NewCostMatrix(mu.Points(), nu.Points(), SquaredEuclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Monotone(mu, nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spx, err := Simplex(mu.Weights(), nu.Weights(), cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cm := exact.Cost(cost.At)
+		cs := spx.Cost(cost.At)
+		if math.Abs(cm-cs) > 1e-6*(1+cm) {
+			t.Errorf("trial %d: monotone cost %v vs simplex %v", trial, cm, cs)
+		}
+		if err := spx.CheckMarginals(mu.Weights(), nu.Weights(), 1e-6); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSimplexNonConvexCost(t *testing.T) {
+	// Concave cost |x−y|^0.5 is not served by the monotone solver; at
+	// minimum the simplex must produce a valid plan no costlier than the
+	// monotone coupling evaluated under the same cost.
+	mu := MustMeasure([]float64{0, 1, 4}, []float64{1, 1, 1})
+	nu := MustMeasure([]float64{0.5, 2, 5}, []float64{1, 1, 1})
+	costFn := func(x, y float64) float64 { return math.Sqrt(math.Abs(x - y)) }
+	cost, err := NewCostMatrix(mu.Points(), nu.Points(), costFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spx, err := Simplex(mu.Weights(), nu.Weights(), cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Monotone(mu, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spx.Cost(cost.At) > mono.Cost(cost.At)+1e-9 {
+		t.Errorf("simplex cost %v exceeds monotone %v under concave cost",
+			spx.Cost(cost.At), mono.Cost(cost.At))
+	}
+}
+
+func TestSimplexRejectsBadInput(t *testing.T) {
+	cost, _ := NewCostMatrix([]float64{0, 1}, []float64{0, 1}, SquaredEuclidean)
+	if _, err := Simplex([]float64{1}, []float64{0.5, 0.5}, cost); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Simplex([]float64{1, 0}, []float64{0.5, 0.2}, cost); err == nil {
+		t.Error("unbalanced problem accepted")
+	}
+	if _, err := Simplex([]float64{-1, 2}, []float64{0.5, 0.5}, cost); err == nil {
+		t.Error("negative mass accepted")
+	}
+	if _, err := Simplex([]float64{0, 0}, []float64{0, 0}, cost); err == nil {
+		t.Error("zero mass accepted")
+	}
+}
+
+func TestSimplexHandlesZeroMassStates(t *testing.T) {
+	cost, _ := NewCostMatrix([]float64{0, 1, 2}, []float64{0, 1, 2}, SquaredEuclidean)
+	plan, err := Simplex([]float64{0.5, 0, 0.5}, []float64{0, 1, 0}, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CheckMarginals([]float64{0.5, 0, 0.5}, []float64{0, 1, 0}, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinkhornApproachesExact(t *testing.T) {
+	r := rng.New(109)
+	mu := randomMeasure(r, 12)
+	nu := randomMeasure(r, 15)
+	cost, err := NewCostMatrix(mu.Points(), nu.Points(), SquaredEuclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Monotone(mu, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCost := exact.Cost(cost.At)
+
+	var gaps []float64
+	for _, eps := range []float64{2, 0.5, 0.1} {
+		res, err := Sinkhorn(mu.Weights(), nu.Weights(), cost, SinkhornOptions{
+			Epsilon: eps * (1 + cost.Max()) / 100,
+			MaxIter: 20000,
+			Tol:     1e-10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := res.Plan.Cost(cost.At) - exactCost
+		// Rounded plans are feasible, so the entropic cost dominates the
+		// exact optimum.
+		if gap < -1e-6 {
+			t.Errorf("eps %v: Sinkhorn cost below exact optimum by %v", eps, -gap)
+		}
+		gaps = append(gaps, gap)
+	}
+	if gaps[len(gaps)-1] > gaps[0]+1e-9 {
+		t.Errorf("tightening eps did not reduce the gap: %v", gaps)
+	}
+	if gaps[len(gaps)-1] > 0.05*(1+exactCost) {
+		t.Errorf("smallest-eps Sinkhorn still %v above exact %v", gaps[len(gaps)-1], exactCost)
+	}
+}
+
+func TestSinkhornMarginals(t *testing.T) {
+	r := rng.New(113)
+	mu := randomMeasure(r, 10)
+	nu := randomMeasure(r, 10)
+	cost, _ := NewCostMatrix(mu.Points(), nu.Points(), SquaredEuclidean)
+	res, err := Sinkhorn(mu.Weights(), nu.Weights(), cost, SinkhornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: marginal err %v after %d iters", res.MarginalErr, res.Iterations)
+	}
+	if err := res.Plan.CheckMarginals(mu.Weights(), nu.Weights(), 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinkhornZeroMassStates(t *testing.T) {
+	cost, _ := NewCostMatrix([]float64{0, 1, 2}, []float64{0, 1, 2}, SquaredEuclidean)
+	res, err := Sinkhorn([]float64{0.5, 0, 0.5}, []float64{0.25, 0.5, 0.25}, cost, SinkhornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := res.Plan.SourceMarginal()
+	if sm[1] != 0 {
+		t.Errorf("zero-mass state received mass %v", sm[1])
+	}
+}
+
+func TestWassersteinClosedFormGaussians(t *testing.T) {
+	// Large samples from two normals: empirical W2 ≈ closed form.
+	r := rng.New(127)
+	n := 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(0, 1)
+		ys[i] = r.Normal(2, 1.5)
+	}
+	got, err := EmpiricalWasserstein(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GaussianW2(0, 1, 2, 1.5)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("W2 = %v, closed form %v", got, want)
+	}
+}
+
+func TestWassersteinTranslation(t *testing.T) {
+	// W_p(µ, µ+c) = |c| for all p.
+	mu := MustMeasure([]float64{0, 1, 2}, []float64{1, 2, 1})
+	shift := make([]float64, mu.Len())
+	for i, p := range mu.Points() {
+		shift[i] = p + 3
+	}
+	nu := MustMeasure(shift, mu.Weights())
+	for _, p := range []float64{1, 2, 3} {
+		got, err := WassersteinP(mu, nu, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-3) > 1e-9 {
+			t.Errorf("W%v of 3-shift = %v", p, got)
+		}
+	}
+}
+
+func TestWassersteinMetricAxioms(t *testing.T) {
+	r := rng.New(131)
+	for trial := 0; trial < 20; trial++ {
+		a := randomMeasure(r, 2+r.IntN(10))
+		b := randomMeasure(r, 2+r.IntN(10))
+		c := randomMeasure(r, 2+r.IntN(10))
+		dab, _ := Wasserstein2(a, b)
+		dba, _ := Wasserstein2(b, a)
+		dac, _ := Wasserstein2(a, c)
+		dcb, _ := Wasserstein2(c, b)
+		daa, _ := Wasserstein2(a, a)
+		if daa > 1e-9 {
+			t.Errorf("W2(a,a) = %v", daa)
+		}
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Errorf("asymmetry: %v vs %v", dab, dba)
+		}
+		if dab > dac+dcb+1e-9 {
+			t.Errorf("triangle violation: %v > %v + %v", dab, dac, dcb)
+		}
+	}
+}
+
+func TestWassersteinOrderErrors(t *testing.T) {
+	m := MustMeasure([]float64{0}, []float64{1})
+	if _, err := WassersteinP(m, m, 0.5); err == nil {
+		t.Error("p < 1 accepted")
+	}
+	if _, err := EmpiricalWasserstein(nil, []float64{1}, 2); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestPowerCostPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PowerCost(0.5) did not panic")
+		}
+	}()
+	PowerCost(0.5)
+}
+
+func TestMonotoneCostAgreesWithPlanCost(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		mu := randomMeasure(r, 1+r.IntN(12))
+		nu := randomMeasure(r, 1+r.IntN(12))
+		plan, err := Monotone(mu, nu)
+		if err != nil {
+			return false
+		}
+		planCost := plan.Cost(func(i, j int) float64 {
+			return SquaredEuclidean(mu.Points()[i], nu.Points()[j])
+		})
+		direct, err := MonotoneCost(mu, nu, SquaredEuclidean)
+		if err != nil {
+			return false
+		}
+		return math.Abs(planCost-direct) <= 1e-9*(1+planCost)
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}

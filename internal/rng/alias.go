@@ -1,0 +1,91 @@
+package rng
+
+import "math"
+
+// Alias is a Walker/Vose alias table for O(1) draws from a fixed discrete
+// distribution. Algorithm 2 draws one categorical sample per archival point
+// per feature from the same nQ plan rows, so the per-draw cost matters when
+// repairing torrents of archival data; the alias table makes each draw two
+// uniforms and one comparison regardless of nQ.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from the (possibly unnormalized)
+// non-negative weight vector w. It panics on negative, NaN, or zero-total
+// weights for the same reason Categorical does.
+func NewAlias(w []float64) *Alias {
+	n := len(w)
+	if n == 0 {
+		panic("rng: NewAlias called with empty weights")
+	}
+	total := 0.0
+	for _, wi := range w {
+		if wi < 0 || math.IsNaN(wi) {
+			panic("rng: NewAlias called with negative or NaN weight")
+		}
+		total += wi
+	}
+	if total <= 0 {
+		panic("rng: NewAlias called with zero total mass")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, n)
+	for i, wi := range w {
+		scaled[i] = wi * float64(n) / total
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Only reachable through floating-point round-off; these cells have
+		// scaled mass within ulps of 1.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Len reports the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw returns a category index distributed according to the weights the
+// table was built from.
+func (a *Alias) Draw(r *RNG) int {
+	i := r.IntN(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,211 @@
+// Package rng provides the deterministic random-number machinery used by
+// every stochastic component of the repository: the simulation generators
+// (Section V-A of the paper), the two randomization steps of the off-sample
+// repair (Algorithm 2), and the Monte-Carlo experiment harness.
+//
+// All randomness flows through an explicit *RNG value seeded by the caller,
+// so every experiment in cmd/repro is exactly reproducible. Independent
+// child generators for parallel Monte-Carlo replicates are derived with
+// Split, which uses a SplitMix64-style hash of the parent seed and the child
+// index so that replicate streams are decorrelated but stable.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic pseudo-random generator with the sampling methods
+// needed by the repair algorithms. It wraps the standard library's PCG
+// source. An RNG is not safe for concurrent use; derive one per goroutine
+// with Split.
+type RNG struct {
+	src *rand.Rand
+	// seed records the construction seed so children can be derived
+	// deterministically even after the stream has advanced.
+	seed uint64
+}
+
+// New returns an RNG seeded with the given value. Two RNGs constructed with
+// the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	return &RNG{
+		src:  rand.New(rand.NewPCG(seed, splitmix64(seed+0x9e3779b97f4a7c15))),
+		seed: seed,
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to spread seeds so that
+// consecutive integer seeds yield unrelated streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Seed reports the seed the generator was constructed with.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// Split derives an independent child generator for stream index i.
+// Splitting is a pure function of (parent seed, i): it does not consume or
+// depend on the parent's stream position, which lets parallel Monte-Carlo
+// replicates be launched in any order with identical results.
+func (r *RNG) Split(i uint64) *RNG {
+	child := splitmix64(r.seed ^ splitmix64(i+1))
+	return New(child)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0, matching
+// the standard library contract.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Norm returns a standard normal sample.
+func (r *RNG) Norm() float64 { return r.src.NormFloat64() }
+
+// Normal returns a sample from N(mean, stddev²).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma²)); used by the synthetic Adult
+// generator for right-skewed age-like quantities.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.src.NormFloat64())
+}
+
+// Bernoulli returns true with probability p. Probabilities outside [0, 1]
+// are clamped, so callers may pass the raw interpolation ratio from
+// Algorithm 2 line 6 without pre-clamping.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Exponential returns a sample from Exp(rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	return r.src.ExpFloat64() / rate
+}
+
+// Categorical draws an index from the (possibly unnormalized) non-negative
+// weight vector w by inversion. It panics if the total mass is not positive
+// or if any weight is negative or NaN: a zero-mass row of an OT plan is a
+// design bug upstream that must not be masked here.
+//
+// For repeated draws from the same weights prefer NewAlias, which is O(1)
+// per draw after O(n) setup; Categorical is O(n) per draw.
+func (r *RNG) Categorical(w []float64) int {
+	total := 0.0
+	for _, wi := range w {
+		if wi < 0 || math.IsNaN(wi) {
+			panic("rng: Categorical called with negative or NaN weight")
+		}
+		total += wi
+	}
+	if total <= 0 {
+		panic("rng: Categorical called with zero total mass")
+	}
+	u := r.src.Float64() * total
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last strictly positive weight.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Multinomial draws counts of n trials across the weight vector w.
+// The returned slice has len(w) entries summing to n.
+func (r *RNG) Multinomial(n int, w []float64) []int {
+	counts := make([]int, len(w))
+	if n <= 0 {
+		return counts
+	}
+	// Conditional binomial method: draw each cell's count as a binomial of
+	// the remaining trials, conditioning on mass already placed.
+	total := 0.0
+	for _, wi := range w {
+		if wi < 0 || math.IsNaN(wi) {
+			panic("rng: Multinomial called with negative or NaN weight")
+		}
+		total += wi
+	}
+	if total <= 0 {
+		panic("rng: Multinomial called with zero total mass")
+	}
+	remaining := n
+	massLeft := total
+	for i := 0; i < len(w)-1 && remaining > 0; i++ {
+		p := w[i] / massLeft
+		c := r.Binomial(remaining, p)
+		counts[i] = c
+		remaining -= c
+		massLeft -= w[i]
+		if massLeft <= 0 {
+			break
+		}
+	}
+	counts[len(w)-1] += remaining
+	return counts
+}
+
+// Binomial draws the number of successes in n Bernoulli(p) trials.
+// It uses direct simulation for small n and a normal approximation with
+// correction is deliberately avoided: n is modest everywhere in this
+// repository and exactness keeps the property tests sharp.
+func (r *RNG) Binomial(n int, p float64) int {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Inversion by waiting times is O(np) expected; fine for our sizes.
+	c := 0
+	for i := 0; i < n; i++ {
+		if r.src.Float64() < p {
+			c++
+		}
+	}
+	return c
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n) in random order. It panics if k > n.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k > n {
+		panic("rng: SampleWithoutReplacement with k > n")
+	}
+	p := r.src.Perm(n)
+	return p[:k]
+}

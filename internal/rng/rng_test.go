@@ -1,0 +1,399 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 coincide on %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependentOfStreamPosition(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	// Advance a, not b: Split must still agree.
+	for i := 0; i < 50; i++ {
+		a.Float64()
+	}
+	ca := a.Split(3)
+	cb := b.Split(3)
+	for i := 0; i < 100; i++ {
+		if ca.Float64() != cb.Float64() {
+			t.Fatalf("split streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitChildrenDecorrelated(t *testing.T) {
+	parent := New(99)
+	c0 := parent.Split(0)
+	c1 := parent.Split(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c0.Float64() == c1.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams coincide on %d/1000 draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform(-3,7) = %v out of range", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(2, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("mean = %v, want ~2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Errorf("variance = %v, want ~9", variance)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	f := float64(hits) / n
+	if math.Abs(f-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", f)
+	}
+}
+
+func TestBernoulliClamps(t *testing.T) {
+	r := New(1)
+	if r.Bernoulli(-0.5) {
+		t.Error("Bernoulli(-0.5) returned true")
+	}
+	if !r.Bernoulli(1.5) {
+		t.Error("Bernoulli(1.5) returned false")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := New(17)
+	w := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	for i, c := range counts {
+		want := w[i] / 10
+		got := float64(c) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	r := New(1)
+	for _, w := range [][]float64{{0, 0}, {-1, 2}, {math.NaN(), 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", w)
+				}
+			}()
+			r.Categorical(w)
+		}()
+	}
+}
+
+func TestCategoricalSkipsZeroWeights(t *testing.T) {
+	r := New(23)
+	w := []float64{0, 1, 0, 0}
+	for i := 0; i < 1000; i++ {
+		if got := r.Categorical(w); got != 1 {
+			t.Fatalf("Categorical([0,1,0,0]) = %d", got)
+		}
+	}
+}
+
+func TestMultinomialSumsToN(t *testing.T) {
+	r := New(29)
+	err := quick.Check(func(n uint8, a, b, c uint8) bool {
+		w := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		counts := r.Multinomial(int(n), w)
+		total := 0
+		for _, v := range counts {
+			if v < 0 {
+				return false
+			}
+			total += v
+		}
+		return total == int(n)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultinomialFrequencies(t *testing.T) {
+	r := New(31)
+	w := []float64{0.5, 0.5}
+	counts := r.Multinomial(100000, w)
+	f := float64(counts[0]) / 100000
+	if math.Abs(f-0.5) > 0.01 {
+		t.Errorf("Multinomial split = %v, want ~0.5", f)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(37)
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(41)
+	w := []float64{0.1, 0.0, 0.4, 0.5}
+	a := NewAlias(w)
+	counts := make([]int, len(w))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i := range w {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w[i]) > 0.01 {
+			t.Errorf("alias category %d frequency = %v, want %v", i, got, w[i])
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	r := New(43)
+	a := NewAlias([]float64{3.5})
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-category alias drew nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroMassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAlias with zero mass did not panic")
+		}
+	}()
+	NewAlias([]float64{0, 0, 0})
+}
+
+func TestAliasAgreesWithCategorical(t *testing.T) {
+	// Property: alias-table frequencies match inversion-sampling frequencies
+	// within Monte-Carlo noise on random weight vectors.
+	r := New(47)
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + r.IntN(20)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		total := 0.0
+		for _, wi := range w {
+			total += wi
+		}
+		a := NewAlias(w)
+		countsA := make([]int, n)
+		countsC := make([]int, n)
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			countsA[a.Draw(r)]++
+			countsC[r.Categorical(w)]++
+		}
+		for i := range w {
+			fa := float64(countsA[i]) / draws
+			fc := float64(countsC[i]) / draws
+			want := w[i] / total
+			if math.Abs(fa-want) > 0.02 || math.Abs(fc-want) > 0.02 {
+				t.Errorf("trial %d category %d: alias %v categorical %v want %v", trial, i, fa, fc, want)
+			}
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(53)
+	idx := r.SampleWithoutReplacement(10, 10)
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("invalid sample %v", idx)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("expected 10 distinct, got %d", len(seen))
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k > n did not panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestMVNMomentsIdentity(t *testing.T) {
+	r := New(59)
+	m := MustMVN([]float64{1, -2}, Identity(2))
+	const n = 100000
+	sum := [2]float64{}
+	for i := 0; i < n; i++ {
+		v := m.Sample(r, nil)
+		sum[0] += v[0]
+		sum[1] += v[1]
+	}
+	if math.Abs(sum[0]/n-1) > 0.02 || math.Abs(sum[1]/n+2) > 0.02 {
+		t.Errorf("MVN means = %v %v", sum[0]/n, sum[1]/n)
+	}
+}
+
+func TestMVNCovariance(t *testing.T) {
+	r := New(61)
+	cov := [][]float64{{2, 0.8}, {0.8, 1}}
+	m := MustMVN([]float64{0, 0}, cov)
+	const n = 200000
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		v := m.Sample(r, nil)
+		sxx += v[0] * v[0]
+		sxy += v[0] * v[1]
+		syy += v[1] * v[1]
+	}
+	if math.Abs(sxx/n-2) > 0.05 {
+		t.Errorf("var(x) = %v, want ~2", sxx/n)
+	}
+	if math.Abs(sxy/n-0.8) > 0.05 {
+		t.Errorf("cov(x,y) = %v, want ~0.8", sxy/n)
+	}
+	if math.Abs(syy/n-1) > 0.05 {
+		t.Errorf("var(y) = %v, want ~1", syy/n)
+	}
+}
+
+func TestMVNRejectsBadCovariance(t *testing.T) {
+	if _, err := NewMVN([]float64{0, 0}, [][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Error("indefinite covariance accepted")
+	}
+	if _, err := NewMVN([]float64{0}, [][]float64{{1, 0}, {0, 1}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := NewMVN([]float64{0, 0}, [][]float64{{1}, {0, 1}}); err == nil {
+		t.Error("ragged covariance accepted")
+	}
+}
+
+func TestMVNSampleReusesDst(t *testing.T) {
+	r := New(67)
+	m := MustMVN([]float64{0}, Identity(1))
+	dst := make([]float64, 1)
+	out := m.Sample(r, dst)
+	if &out[0] != &dst[0] {
+		t.Error("Sample did not reuse dst")
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	r := New(71)
+	m := MustMVN([]float64{3, 4}, Identity(2))
+	rows := m.SampleN(r, 17)
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != 2 {
+			t.Fatalf("row has %d entries", len(row))
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(73)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(79)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	if math.Abs(sum/n-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", sum/n)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(83)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(1, 0.5); v <= 0 {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}

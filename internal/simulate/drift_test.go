@@ -1,0 +1,150 @@
+package simulate
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+	"otfair/internal/stat"
+)
+
+func TestDriftStreamLengthAndDim(t *testing.T) {
+	ds, err := NewDriftStream(Paper(), rng.New(1), Drift{Common: []float64{1, 1}}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim() != 2 {
+		t.Errorf("dim = %d", ds.Dim())
+	}
+	n := 0
+	for {
+		_, err := ds.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 500 {
+		t.Errorf("streamed %d of 500", n)
+	}
+	// Exhausted stream keeps returning EOF.
+	if _, err := ds.Next(); err != io.EOF {
+		t.Errorf("post-EOF err = %v", err)
+	}
+}
+
+func TestDriftStreamShiftsMeans(t *testing.T) {
+	// With drift D, early records have ~0 shift and late records ~D.
+	const total = 40000
+	ds, err := NewDriftStream(Paper(), rng.New(2), Drift{Common: []float64{3, 0}}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late []float64
+	i := 0
+	for {
+		rec, err := ds.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < total/10 {
+			early = append(early, rec.X[0])
+		} else if i >= total*9/10 {
+			late = append(late, rec.X[0])
+		}
+		i++
+	}
+	gap := stat.Mean(late) - stat.Mean(early)
+	// Expected gap ≈ 3·(0.95 − 0.05) = 2.7.
+	if math.Abs(gap-2.7) > 0.3 {
+		t.Errorf("drift gap = %v, want ≈ 2.7", gap)
+	}
+}
+
+func TestDriftStreamZeroDriftIsStationary(t *testing.T) {
+	const total = 30000
+	ds, err := NewDriftStream(Paper(), rng.New(3), Drift{Common: []float64{0, 0}}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ds.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != total {
+		t.Fatalf("collected %d", tbl.Len())
+	}
+	var firstHalf, secondHalf []float64
+	for i := 0; i < tbl.Len(); i++ {
+		if i < total/2 {
+			firstHalf = append(firstHalf, tbl.At(i).X[0])
+		} else {
+			secondHalf = append(secondHalf, tbl.At(i).X[0])
+		}
+	}
+	if gap := math.Abs(stat.Mean(firstHalf) - stat.Mean(secondHalf)); gap > 0.05 {
+		t.Errorf("zero-drift halves differ by %v", gap)
+	}
+}
+
+func TestDriftStreamValidation(t *testing.T) {
+	if _, err := NewDriftStream(Paper(), rng.New(1), Drift{Common: []float64{1, 1}}, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := NewDriftStream(Paper(), rng.New(1), Drift{Common: []float64{1}}, 10); err == nil {
+		t.Error("drift dimension mismatch accepted")
+	}
+	bad := Paper()
+	bad.PrU0 = -1
+	if _, err := NewDriftStream(bad, rng.New(1), Drift{Common: []float64{1, 1}}, 10); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestDriftStreamGroupDrift(t *testing.T) {
+	// Group drift moves only the targeted group.
+	const total = 40000
+	ds, err := NewDriftStream(Paper(), rng.New(4), Drift{
+		Group: map[dataset.Group][]float64{{U: 0, S: 1}: {4, 0}},
+	}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ds.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Late-stream s=1 u=0 mean is shifted; s=0 u=0 is not.
+	var late1, late0 []float64
+	for i := total / 2; i < tbl.Len(); i++ {
+		rec := tbl.At(i)
+		if rec.U != 0 {
+			continue
+		}
+		if rec.S == 1 {
+			late1 = append(late1, rec.X[0])
+		} else {
+			late0 = append(late0, rec.X[0])
+		}
+	}
+	// Base means: s=1 -> 0, s=0 -> -1. With drift ~4·(0.75) = 3 on s=1.
+	if m := stat.Mean(late1); m < 2 {
+		t.Errorf("drifted group mean = %v, want > 2", m)
+	}
+	if m := stat.Mean(late0); math.Abs(m-(-1)) > 0.2 {
+		t.Errorf("undrifted group mean = %v, want ≈ -1", m)
+	}
+	if _, err := NewDriftStream(Paper(), rng.New(1), Drift{
+		Group: map[dataset.Group][]float64{{U: 0, S: 1}: {1}},
+	}, 10); err == nil {
+		t.Error("group drift dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Package simulate generates the paper's simulation-study data
+// (Section V-A): bivariate Gaussian (u,s)-conditional sub-groups
+//
+//	x | u,s ~ N(µ_{u,s}, Σ_{u,s})
+//
+// with µ_{0,0} = [−1,−1], µ_{0,1} = [0,0], µ_{1,0} = [1,1], µ_{1,1} = [0,0],
+// Σ = I₂, Pr(u=0) = 0.5, Pr(s=0|u=0) = 0.3, Pr(s=0|u=1) = 0.1, and
+// n = n_R + n_A = 5500 split into 500 research and 5000 archive points.
+// All of those numbers are parameters here, so the n_R sweep of Figure 3
+// and the n_Q sweep of Figure 4 reuse the same generator.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// Scenario parameterizes the mixture of (u,s)-conditional Gaussians.
+type Scenario struct {
+	// Mean maps each (u,s) group to its component mean (length = Dim).
+	Mean map[dataset.Group][]float64
+	// Cov maps each (u,s) group to its covariance; nil entries default to
+	// the identity, the paper's choice.
+	Cov map[dataset.Group][][]float64
+	// PrU0 is Pr(U = 0).
+	PrU0 float64
+	// PrS0GivenU is Pr(S = 0 | U = u) indexed by u ∈ {0, 1}.
+	PrS0GivenU [2]float64
+	// Dim is the feature dimension d.
+	Dim int
+}
+
+// Paper returns the exact scenario of Section V-A.
+func Paper() Scenario {
+	return Scenario{
+		Dim: 2,
+		Mean: map[dataset.Group][]float64{
+			{U: 0, S: 0}: {-1, -1},
+			{U: 0, S: 1}: {0, 0},
+			{U: 1, S: 0}: {1, 1},
+			{U: 1, S: 1}: {0, 0},
+		},
+		PrU0:       0.5,
+		PrS0GivenU: [2]float64{0.3, 0.1},
+	}
+}
+
+// Validate checks the scenario is fully specified and stochastic.
+func (sc Scenario) Validate() error {
+	if sc.Dim <= 0 {
+		return errors.New("simulate: dimension must be positive")
+	}
+	if sc.PrU0 < 0 || sc.PrU0 > 1 {
+		return fmt.Errorf("simulate: PrU0 = %v outside [0,1]", sc.PrU0)
+	}
+	for u, p := range sc.PrS0GivenU {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("simulate: PrS0GivenU[%d] = %v outside [0,1]", u, p)
+		}
+	}
+	for _, g := range dataset.Groups() {
+		mean, ok := sc.Mean[g]
+		if !ok {
+			return fmt.Errorf("simulate: missing mean for group %v", g)
+		}
+		if len(mean) != sc.Dim {
+			return fmt.Errorf("simulate: mean for %v has %d entries, want %d", g, len(mean), sc.Dim)
+		}
+		if cov, ok := sc.Cov[g]; ok && cov != nil && len(cov) != sc.Dim {
+			return fmt.Errorf("simulate: covariance for %v has %d rows, want %d", g, len(cov), sc.Dim)
+		}
+	}
+	return nil
+}
+
+// Sampler draws records from a validated scenario.
+type Sampler struct {
+	sc   Scenario
+	mvns map[dataset.Group]*rng.MVN
+}
+
+// NewSampler validates the scenario and prepares the per-group samplers.
+func NewSampler(sc Scenario) (*Sampler, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	mvns := make(map[dataset.Group]*rng.MVN, 4)
+	for _, g := range dataset.Groups() {
+		cov := sc.Cov[g]
+		if cov == nil {
+			cov = rng.Identity(sc.Dim)
+		}
+		mvn, err := rng.NewMVN(sc.Mean[g], cov)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: group %v: %w", g, err)
+		}
+		mvns[g] = mvn
+	}
+	return &Sampler{sc: sc, mvns: mvns}, nil
+}
+
+// Draw samples one record: u ~ Bernoulli(1−PrU0), s | u, then x | u,s.
+func (s *Sampler) Draw(r *rng.RNG) dataset.Record {
+	u := 0
+	if !r.Bernoulli(s.sc.PrU0) {
+		u = 1
+	}
+	sLabel := 0
+	if !r.Bernoulli(s.sc.PrS0GivenU[u]) {
+		sLabel = 1
+	}
+	g := dataset.Group{U: u, S: sLabel}
+	return dataset.Record{X: s.mvns[g].Sample(r, nil), S: sLabel, U: u}
+}
+
+// Table draws n iid records into a table.
+func (s *Sampler) Table(r *rng.RNG, n int) (*dataset.Table, error) {
+	t, err := dataset.NewTable(s.sc.Dim, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := t.Append(s.Draw(r)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ResearchArchive draws the paper's composite data set and splits it into
+// research and archive tables of the given sizes.
+func (s *Sampler) ResearchArchive(r *rng.RNG, nResearch, nArchive int) (research, archive *dataset.Table, err error) {
+	if nResearch <= 0 || nArchive < 0 {
+		return nil, nil, fmt.Errorf("simulate: invalid sizes nR=%d nA=%d", nResearch, nArchive)
+	}
+	full, err := s.Table(r, nResearch+nArchive)
+	if err != nil {
+		return nil, nil, err
+	}
+	return full.Split(r, nResearch)
+}

@@ -1,0 +1,257 @@
+// Package stat provides the descriptive statistics the repair pipeline
+// depends on: moments for Silverman's bandwidth rule (Eq. 12 of the paper),
+// quantiles for the exact 1-D Wasserstein machinery, ranges for the
+// interpolated supports of Algorithm 1, and streaming accumulators for the
+// archival (torrent) code paths where data cannot be held in memory.
+package stat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reducers that are undefined on empty input.
+var ErrEmpty = errors.New("stat: empty sample")
+
+// Mean returns the arithmetic mean. It returns NaN on empty input so that
+// callers composing pipelines see the poison value rather than a silent 0.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance; NaN if n < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation; NaN if n < 2.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// PopVariance returns the population (1/n) variance; NaN on empty input.
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// MinMax returns the extrema of xs. It returns an error on empty input:
+// Algorithm 1 line 4 builds the interpolation support from these values and
+// an empty (u,s) research group must fail loudly at design time.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of sorted data using linear
+// interpolation between order statistics (the "type 7" estimator that R and
+// NumPy default to). sorted must be ascending; Quantile panics if p is
+// outside [0, 1].
+func Quantile(sorted []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic("stat: quantile probability out of [0,1]")
+	}
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// Median returns the sample median of unsorted data.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return Quantile(cp, 0.5)
+}
+
+// IQR returns the interquartile range (Q3 − Q1) of unsorted data. It feeds
+// Silverman's robust spread estimate.
+func IQR(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return Quantile(cp, 0.75) - Quantile(cp, 0.25)
+}
+
+// Covariance returns the unbiased sample covariance of two equal-length
+// samples; NaN if lengths differ or n < 2.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Correlation returns the Pearson correlation coefficient; NaN when either
+// marginal is degenerate.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Summary bundles the descriptive statistics reported by diagnostics and
+// the CLI `evaluate` command.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Q1, Median, Q3 float64
+}
+
+// Summarize computes a Summary of xs. Quantile fields are NaN when n == 0.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Std, s.Min, s.Max, s.Q1, s.Median, s.Q3 = nan, nan, nan, nan, nan, nan, nan
+		return s
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	s.Mean = Mean(cp)
+	s.Std = StdDev(cp)
+	s.Min = cp[0]
+	s.Max = cp[len(cp)-1]
+	s.Q1 = Quantile(cp, 0.25)
+	s.Median = Quantile(cp, 0.5)
+	s.Q3 = Quantile(cp, 0.75)
+	return s
+}
+
+// MeanStd returns the mean and unbiased standard deviation of xs in one
+// pass; the Monte-Carlo harness reports every cell of the paper's tables as
+// mean ± std over replicates.
+func MeanStd(xs []float64) (mean, std float64) {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Mean(), w.Std()
+}
+
+// Linspace returns n uniformly spaced points from lo to hi inclusive —
+// exactly the support construction of Algorithm 1 line 4:
+// ζ_i = (n−i)/(n−1)·lo + (i−1)/(n−1)·hi. It panics if n < 2 when lo ≠ hi;
+// n == 1 is allowed only for a degenerate (lo == hi) support.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		panic("stat: Linspace with n <= 0")
+	}
+	if n == 1 {
+		if lo != hi {
+			panic("stat: Linspace n == 1 with lo != hi")
+		}
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	// Pin the endpoint exactly: downstream binary searches use Q[n-1] as the
+	// clamping bound and must see the true maximum.
+	out[n-1] = hi
+	return out
+}
+
+// Sum returns the sum of xs (0 for empty input).
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Normalize scales non-negative weights into a probability vector in place
+// and returns it. It returns ErrEmpty for empty input and an error when the
+// total mass is not positive or any entry is negative/NaN.
+func Normalize(w []float64) ([]float64, error) {
+	if len(w) == 0 {
+		return nil, ErrEmpty
+	}
+	total := 0.0
+	for _, v := range w {
+		if v < 0 || math.IsNaN(v) {
+			return nil, errors.New("stat: Normalize with negative or NaN weight")
+		}
+		total += v
+	}
+	if total <= 0 {
+		return nil, errors.New("stat: Normalize with zero total mass")
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w, nil
+}
+
+// Column extracts feature column k from a row-major matrix. It is the
+// bridge between the dataset's d-dimensional records and the per-feature
+// (k-stratified) repair of Algorithm 1.
+func Column(rows [][]float64, k int) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[k]
+	}
+	return out
+}
