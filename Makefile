@@ -1,0 +1,43 @@
+# Build, verify and benchmark targets for the otfair reproduction.
+#
+# `make verify` is the tier-1 gate (vet + build + full tests).
+# `make bench` regenerates the four paper-artefact benchmarks with their
+# fixed seeds and writes machine-readable BENCH_$(BENCH_N).json; pass
+# BASELINE=BENCH_1.json to annotate each entry with its speedup.
+
+GO      ?= go
+BENCH_N ?= 1
+# The four paper artefacts (Table I, Figure 3, Figure 4, Table II); each
+# uses a fixed experiment seed so runs are comparable across machines.
+ARTEFACTS = BenchmarkTable1$$|BenchmarkFigure3$$|BenchmarkFigure4$$|BenchmarkTable2$$
+BASELINE ?=
+BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
+
+.PHONY: build verify test vet race bench bench-micro
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verify line (see ROADMAP.md).
+verify: vet build test
+
+# Race-certify the concurrent paths (parallel Sinkhorn sweeps, design cache,
+# parallel repair).
+race:
+	$(GO) test -race ./internal/ot/ ./internal/core/ ./internal/vec/
+
+bench:
+	$(GO) test -run '^$$' -bench '$(ARTEFACTS)' -benchtime 2x -count 1 . \
+		| $(GO) run ./cmd/benchjson $(BASEFLAG) > BENCH_$(BENCH_N).json
+	@cat BENCH_$(BENCH_N).json
+
+# Stage-level micro-benchmarks (design, repair, solvers, metric, kernels).
+bench-micro:
+	$(GO) test -run '^$$' -bench 'BenchmarkDesign$$|BenchmarkRepairTable$$|BenchmarkSolvers|BenchmarkEMetric$$' -benchtime 10x .
+	$(GO) test -run '^$$' -bench . -benchtime 100x ./internal/vec/

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark trajectories can
+// be recorded (BENCH_*.json) and diffed across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkTable1$' -benchtime 2x . | go run ./cmd/benchjson
+//	... | go run ./cmd/benchjson -baseline BENCH_1.json   # annotate speedups
+//
+// With -baseline, each benchmark present in the baseline file gains
+// baseline_ns_per_op and speedup fields (baseline/current).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name            string  `json:"name"`
+	Iterations      int64   `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// Report is the full document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "prior benchjson report to compute speedups against")
+	flag.Parse()
+
+	var baseline map[string]float64
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var prior Report
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		baseline = make(map[string]float64, len(prior.Benchmarks))
+		for _, b := range prior.Benchmarks {
+			baseline[b.Name] = b.NsPerOp
+		}
+	}
+
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark<Name>[-procs] <iters> <value> ns/op [more metrics...]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
+		if prior, ok := baseline[name]; ok && ns > 0 {
+			b.BaselineNsPerOp = prior
+			b.Speedup = prior / ns
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

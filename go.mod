@@ -1,0 +1,3 @@
+module otfair
+
+go 1.24

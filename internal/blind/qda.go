@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"otfair/internal/dataset"
+	"otfair/internal/vec"
 )
 
 // gaussian is a full-covariance multivariate normal fitted by maximum
@@ -13,8 +14,11 @@ import (
 type gaussian struct {
 	mean []float64
 	// chol is the lower-triangular Cholesky factor of the (ridge-floored)
-	// covariance.
-	chol [][]float64
+	// covariance, packed row-major without the zero upper triangle:
+	// row i starts at i(i+1)/2 and holds i+1 entries. The packed layout
+	// keeps the per-record forward substitution on one contiguous run of
+	// memory — this is the innermost loop of the streaming soft-labeller.
+	chol []float64
 	// logNorm is the log normalizing constant −(d/2)·ln 2π − ½·ln|Σ|.
 	logNorm float64
 }
@@ -81,49 +85,54 @@ func newGaussian(rows [][]float64) (*gaussian, error) {
 }
 
 // choleskyLogDet factors a symmetric positive-definite matrix and returns
-// the lower factor together with the log determinant of the input.
-func choleskyLogDet(a [][]float64) ([][]float64, float64, error) {
+// the packed lower factor together with the log determinant of the input.
+func choleskyLogDet(a [][]float64) ([]float64, float64, error) {
 	d := len(a)
-	l := make([][]float64, d)
-	for i := range l {
-		l[i] = make([]float64, d)
-	}
+	l := make([]float64, d*(d+1)/2)
 	logDet := 0.0
 	for i := 0; i < d; i++ {
+		ri := i * (i + 1) / 2
 		for j := 0; j <= i; j++ {
-			sum := a[i][j]
-			for k := 0; k < j; k++ {
-				sum -= l[i][k] * l[j][k]
-			}
+			rj := j * (j + 1) / 2
+			sum := a[i][j] - vec.Dot(l[ri:ri+j], l[rj:rj+j])
 			if i == j {
 				if sum <= 0 {
 					return nil, 0, errors.New("blind: covariance not positive definite")
 				}
-				l[i][i] = math.Sqrt(sum)
-				logDet += 2 * math.Log(l[i][i])
+				l[ri+i] = math.Sqrt(sum)
+				logDet += 2 * math.Log(l[ri+i])
 			} else {
-				l[i][j] = sum / l[j][j]
+				l[ri+j] = sum / l[rj+j]
 			}
 		}
 	}
 	return l, logDet, nil
 }
 
+// qdaMaxStackDim bounds the stack-allocated substitution buffer; archival
+// feature vectors beyond it (rare) fall back to a heap scratch.
+const qdaMaxStackDim = 32
+
 // logPDF evaluates the Gaussian log density via one forward substitution.
+// It allocates nothing for d ≤ qdaMaxStackDim, which keeps the per-record
+// posterior on the streaming path garbage-free.
 func (g *gaussian) logPDF(x []float64) float64 {
 	d := len(g.mean)
 	// Solve L·y = (x − mean); then the quadratic form is ‖y‖².
-	y := make([]float64, d)
-	for i := 0; i < d; i++ {
-		sum := x[i] - g.mean[i]
-		for k := 0; k < i; k++ {
-			sum -= g.chol[i][k] * y[k]
-		}
-		y[i] = sum / g.chol[i][i]
+	var stack [qdaMaxStackDim]float64
+	var y []float64
+	if d <= qdaMaxStackDim {
+		y = stack[:d]
+	} else {
+		y = make([]float64, d)
 	}
 	q := 0.0
-	for _, v := range y {
-		q += v * v
+	for i := 0; i < d; i++ {
+		ri := i * (i + 1) / 2
+		sum := x[i] - g.mean[i] - vec.Dot(g.chol[ri:ri+i], y[:i])
+		yi := sum / g.chol[ri+i]
+		y[i] = yi
+		q += yi * yi
 	}
 	return g.logNorm - 0.5*q
 }

@@ -51,9 +51,9 @@ func TestNewGaussianMomentRecovery(t *testing.T) {
 	if math.Abs(g.mean[1]-1.6) > 0.05 {
 		t.Errorf("mean[1] = %v, want ≈ 1.6", g.mean[1])
 	}
-	// Var(x1) = 2.25; chol[0][0] = sqrt(2.25) = 1.5.
-	if math.Abs(g.chol[0][0]-1.5) > 0.05 {
-		t.Errorf("chol[0][0] = %v, want ≈ 1.5", g.chol[0][0])
+	// Var(x1) = 2.25; L₀₀ (packed index 0) = sqrt(2.25) = 1.5.
+	if math.Abs(g.chol[0]-1.5) > 0.05 {
+		t.Errorf("chol[0] = %v, want ≈ 1.5", g.chol[0])
 	}
 }
 

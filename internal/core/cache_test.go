@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randomCellSamples(r *rand.Rand, n int) (x0, x1 []float64) {
+	x0 = make([]float64, n)
+	x1 = make([]float64, n)
+	for i := range x0 {
+		x0[i] = r.NormFloat64()
+		x1[i] = 2 + 1.5*r.NormFloat64()
+	}
+	return x0, x1
+}
+
+// TestDesignCellCacheHit verifies that identical inputs share one designed
+// cell and that the shared cell matches a fresh, uncached design exactly.
+func TestDesignCellCacheHit(t *testing.T) {
+	ResetDesignCache()
+	r := rand.New(rand.NewSource(21))
+	x0, x1 := randomCellSamples(r, 80)
+	opts := Options{NQ: 40}
+
+	first, err := DesignCell(x0, x1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := DesignCell(x0, x1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("identical design inputs did not share the cached cell")
+	}
+	hits, misses := DesignCacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+
+	// A fresh design after a reset must agree value-for-value.
+	ResetDesignCache()
+	fresh, err := DesignCell(x0, x1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == first {
+		t.Fatal("cache reset did not take effect")
+	}
+	for i := range fresh.Q {
+		if fresh.Q[i] != first.Q[i] {
+			t.Fatalf("support differs at %d", i)
+		}
+	}
+	for s := 0; s < 2; s++ {
+		for i := range fresh.PMF[s] {
+			if math.Abs(fresh.PMF[s][i]-first.PMF[s][i]) > 0 {
+				t.Fatalf("pmf[%d] differs at %d", s, i)
+			}
+		}
+		if fresh.Plans[s].NNZ() != first.Plans[s].NNZ() {
+			t.Fatalf("plan[%d] sparsity differs", s)
+		}
+	}
+}
+
+// TestDesignCellCacheKeySensitivity verifies that any input perturbation —
+// sample value, sample split, or an option that changes the design — misses.
+func TestDesignCellCacheKeySensitivity(t *testing.T) {
+	ResetDesignCache()
+	r := rand.New(rand.NewSource(22))
+	x0, x1 := randomCellSamples(r, 50)
+	base, err := DesignCell(x0, x1, Options{NQ: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bumped := append([]float64(nil), x0...)
+	bumped[7] += 1e-12
+	cell, err := DesignCell(bumped, x1, Options{NQ: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell == base {
+		t.Fatal("perturbed sample reused the cached cell")
+	}
+
+	cell, err = DesignCell(x0, x1, Options{NQ: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell == base {
+		t.Fatal("different NQ reused the cached cell")
+	}
+
+	cell, err = DesignCell(x0, x1, Options{NQ: 30, T: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell == base {
+		t.Fatal("different T reused the cached cell")
+	}
+
+	// Moving the boundary sample between the two groups must change the key
+	// even though the pooled multiset is unchanged.
+	y0 := append([]float64(nil), x0...)
+	y1 := append([]float64(nil), x1...)
+	y0 = append(y0, y1[len(y1)-1])
+	y1 = y1[:len(y1)-1]
+	cell, err = DesignCell(y0, y1, Options{NQ: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell == base {
+		t.Fatal("regrouped samples reused the cached cell")
+	}
+}
+
+// TestDesignCellCacheConcurrent hammers the cache from concurrent designs;
+// run with -race to certify the locking.
+func TestDesignCellCacheConcurrent(t *testing.T) {
+	ResetDesignCache()
+	r := rand.New(rand.NewSource(23))
+	inputs := make([][2][]float64, 8)
+	for i := range inputs {
+		a, b := randomCellSamples(r, 60)
+		inputs[i] = [2][]float64{a, b}
+	}
+	var wg sync.WaitGroup
+	cells := make([][]*Cell, 4)
+	for w := range cells {
+		cells[w] = make([]*Cell, len(inputs))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, in := range inputs {
+				c, err := DesignCell(in[0], in[1], Options{NQ: 25})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cells[w][i] = c
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range inputs {
+		for w := 1; w < len(cells); w++ {
+			a, b := cells[0][i], cells[w][i]
+			if a == nil || b == nil {
+				t.Fatal("missing cell")
+			}
+			// Workers may race the first fill and design independently, but
+			// the values must agree exactly.
+			for j := range a.Bary {
+				if a.Bary[j] != b.Bary[j] {
+					t.Fatalf("input %d: barycenter differs between workers", i)
+				}
+			}
+		}
+	}
+}

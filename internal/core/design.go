@@ -114,6 +114,12 @@ func DesignCell(x0, x1 []float64, opts Options) (*Cell, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	// Identical (samples, options) cells — discrete features across MC
+	// replicates, repeated designs — share one immutable designed Cell.
+	key := cellKeyFor(x0, x1, opts)
+	if cell, ok := cellCacheGet(key); ok {
+		return cell, nil
+	}
 	pooled := make([]float64, 0, len(x0)+len(x1))
 	pooled = append(pooled, x0...)
 	pooled = append(pooled, x1...)
@@ -123,7 +129,9 @@ func DesignCell(x0, x1 []float64, opts Options) (*Cell, error) {
 	}
 	if !(hi > lo) {
 		// Constant feature within this cell: single-state support.
-		return degenerateCell(lo), nil
+		cell := degenerateCell(lo)
+		cellCachePut(key, cell)
+		return cell, nil
 	}
 	// Line 4–5: uniform interpolated support over the pooled range.
 	q := stat.Linspace(lo, hi, opts.NQ)
@@ -163,13 +171,23 @@ func DesignCell(x0, x1 []float64, opts Options) (*Cell, error) {
 		cell.Target[s] = target
 	}
 	// Lines 10–11: OT plans from each marginal to its target (Eq. 13).
+	// Both s-plans share one cell support, so the matrix solvers reuse a
+	// single cost tabulation (content-cached across cells in ot).
+	var cost *ot.CostMatrix
+	if opts.Solver == SolverSimplex || opts.Solver == SolverSinkhorn {
+		cost, err = ot.SquaredCostMatrix(q)
+		if err != nil {
+			return nil, err
+		}
+	}
 	for s := 0; s < 2; s++ {
-		p, err := solvePlan(q, cell.PMF[s], cell.Target[s], opts)
+		p, err := solvePlan(q, cell.PMF[s], cell.Target[s], cost, opts)
 		if err != nil {
 			return nil, fmt.Errorf("s=%d plan: %w", s, err)
 		}
 		cell.Plans[s] = p
 	}
+	cellCachePut(key, cell)
 	return cell, nil
 }
 
@@ -280,7 +298,10 @@ func partialTarget(q, pmf, bary []float64, amount float64) ([]float64, error) {
 	return ot.ProjectOntoGrid(mid, q)
 }
 
-func solvePlan(q, source, target []float64, opts Options) (*ot.Plan, error) {
+// solvePlan runs the configured solver; cost is the cell's shared
+// squared-Euclidean matrix over q (nil for the monotone solver, which
+// needs none).
+func solvePlan(q, source, target []float64, cost *ot.CostMatrix, opts Options) (*ot.Plan, error) {
 	switch opts.Solver {
 	case SolverMonotone:
 		mu, err := ot.OnGrid(q, source)
@@ -293,16 +314,8 @@ func solvePlan(q, source, target []float64, opts Options) (*ot.Plan, error) {
 		}
 		return ot.Monotone(mu, nu)
 	case SolverSimplex:
-		cost, err := ot.NewCostMatrix(q, q, ot.SquaredEuclidean)
-		if err != nil {
-			return nil, err
-		}
 		return ot.Simplex(source, target, cost)
 	case SolverSinkhorn:
-		cost, err := ot.NewCostMatrix(q, q, ot.SquaredEuclidean)
-		if err != nil {
-			return nil, err
-		}
 		res, err := ot.Sinkhorn(source, target, cost, ot.SinkhornOptions{Epsilon: opts.SinkhornEpsilon})
 		if err != nil {
 			return nil, err

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"otfair/internal/vec"
 )
 
 // DefaultFloor is the probability floor applied to grid pmfs before taking
@@ -50,9 +52,7 @@ func floored(p []float64, floor float64) []float64 {
 		out[i] = v
 		total += v
 	}
-	for i := range out {
-		out[i] /= total
-	}
+	vec.Scale(1/total, out)
 	return out
 }
 
@@ -146,11 +146,7 @@ func TotalVariation(p, q []float64) (float64, error) {
 	if err := validatePair(p, q); err != nil {
 		return 0, err
 	}
-	s := 0.0
-	for i := range p {
-		s += math.Abs(p[i] - q[i])
-	}
-	return 0.5 * s, nil
+	return 0.5 * vec.SumAbsDiff(p, q), nil
 }
 
 // ChiSquared returns the Pearson χ² divergence Σ (p−q)²/q with flooring.

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"otfair/internal/stat"
+	"otfair/internal/vec"
 )
 
 // MultiEstimator is a fitted d-dimensional product-kernel density estimate
@@ -111,42 +112,48 @@ func (e *MultiEstimator) GridPMF(grids [][]float64) ([]float64, error) {
 		}
 		total *= len(g)
 	}
-	// Per-sample, per-dimension kernel evaluations.
+	// Per-sample, per-dimension kernel evaluations, one contiguous block per
+	// dimension: kmat[k][i*m_k + j] = K((g_kj − X_ik)/h_k)/h_k.
 	n := len(e.rows)
-	kmat := make([][][]float64, d) // kmat[k][i][j] = K((g_kj − X_ik)/h_k)/h_k
+	kmat := make([][]float64, d)
 	for k := 0; k < d; k++ {
-		kmat[k] = make([][]float64, n)
+		mk := len(grids[k])
+		block := make([]float64, n*mk)
 		for i, row := range e.rows {
-			vals := make([]float64, len(grids[k]))
+			vals := block[i*mk : (i+1)*mk]
 			for j, g := range grids[k] {
 				vals[j] = e.kernel.Eval((g-row[k])/e.h[k]) / e.h[k]
 			}
-			kmat[k][i] = vals
+		}
+		kmat[k] = block
+	}
+	// Row-major strides of the flattened product support.
+	stride := make([]int, d)
+	stride[d-1] = 1
+	for k := d - 2; k >= 0; k-- {
+		stride[k] = stride[k+1] * len(grids[k+1])
+	}
+	// Each sample contributes a rank-one tensor Π_k v_k; accumulate it by
+	// walking the leading dimensions with running prefix products and
+	// dispatching the innermost dimension as a fused axpy. Zero prefix
+	// products (compact kernels outside their support) prune whole slabs.
+	dens := make([]float64, total)
+	var accum func(k, off, i int, prod float64)
+	accum = func(k, off, i int, prod float64) {
+		mk := len(grids[k])
+		vals := kmat[k][i*mk : (i+1)*mk]
+		if k == d-1 {
+			vec.Axpy(prod, vals, dens[off:off+mk])
+			return
+		}
+		for j, v := range vals {
+			if p := prod * v; p != 0 {
+				accum(k+1, off+j*stride[k], i, p)
+			}
 		}
 	}
-	dens := make([]float64, total)
-	idx := make([]int, d)
-	for flat := 0; flat < total; flat++ {
-		s := 0.0
-		for i := 0; i < n; i++ {
-			prod := 1.0
-			for k := 0; k < d; k++ {
-				prod *= kmat[k][i][idx[k]]
-				if prod == 0 {
-					break
-				}
-			}
-			s += prod
-		}
-		dens[flat] = s
-		// Advance the mixed-radix index, last dimension fastest.
-		for k := d - 1; k >= 0; k-- {
-			idx[k]++
-			if idx[k] < len(grids[k]) {
-				break
-			}
-			idx[k] = 0
-		}
+	for i := 0; i < n; i++ {
+		accum(0, 0, i, 1)
 	}
 	pmf, err := stat.Normalize(dens)
 	if err != nil {

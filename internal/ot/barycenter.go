@@ -170,7 +170,7 @@ type BregmanOptions struct {
 // paper and is exposed as a design ablation; the exact quantile method is
 // the default.
 func BregmanBarycenter(grid []float64, pmfs [][]float64, lambdas []float64, opts BregmanOptions) ([]float64, error) {
-	cost, err := NewCostMatrix(grid, grid, SquaredEuclidean)
+	cost, err := SquaredCostMatrix(grid)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package ot
+
+import (
+	"math"
+	"sync"
+)
+
+// contentKey is a 128-bit content hash: two independent FNV-1a style word
+// folds over the same stream. 64 bits alone would make accidental collisions
+// across millions of cached cells conceivable; 128 bits makes reuse of a
+// wrong cached object astronomically unlikely, which matters because cache
+// hits short-circuit numerical work entirely.
+type contentKey struct{ h1, h2 uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	// Second lane: different offset and a golden-ratio odd multiplier.
+	altOffset = fnvOffset ^ 0x9e3779b97f4a7c15
+	altPrime  = 0xff51afd7ed558ccd
+)
+
+// hasher folds 64-bit words into the two lanes.
+type hasher struct{ h1, h2 uint64 }
+
+func newHasher() hasher { return hasher{h1: fnvOffset, h2: altOffset} }
+
+func (h *hasher) word(v uint64) {
+	h.h1 = (h.h1 ^ v) * fnvPrime
+	h.h2 = (h.h2 ^ v) * altPrime
+}
+
+func (h *hasher) float(f float64) { h.word(math.Float64bits(f)) }
+
+func (h *hasher) floats(fs []float64) {
+	h.word(uint64(len(fs)))
+	for _, f := range fs {
+		h.word(math.Float64bits(f))
+	}
+}
+
+func (h *hasher) key() contentKey { return contentKey{h.h1, h.h2} }
+
+// HashFloats returns an opaque 128-bit content hash of the given slices
+// (length-prefixed, so ([a],[b]) and ([a,b],[]) differ). Exposed for the
+// design-level caches in other packages that key on supports and pmfs.
+func HashFloats(slices ...[]float64) [2]uint64 {
+	h := newHasher()
+	for _, s := range slices {
+		h.floats(s)
+	}
+	return [2]uint64{h.h1, h.h2}
+}
+
+// squaredCostCache memoizes C(Q,Q) matrices for the squared-Euclidean cost,
+// keyed by the support's content hash. Algorithm 1 designs two plans per
+// (u, feature) cell on the same support, ablations re-solve on identical
+// supports per solver, and discrete features repeat supports across
+// Monte-Carlo replicates — each hit saves an O(n_Q²) tabulation.
+// CostMatrix is immutable after construction, so sharing is safe.
+var squaredCostCache = struct {
+	sync.RWMutex
+	m map[contentKey]*CostMatrix
+}{m: make(map[contentKey]*CostMatrix)}
+
+// squaredCostCacheCap bounds the cache; beyond it, an arbitrary quarter of
+// the entries is dropped (map iteration order), which is cheap and good
+// enough for a working set keyed by experiment supports.
+const squaredCostCacheCap = 128
+
+// TrimCapped drops about capN/4 arbitrary entries from m once it has grown
+// to capN entries — the shared eviction policy of the repository's
+// content-hash caches (cost matrices here, designed cells in core). Map
+// iteration order stands in for randomness; these caches have no access
+// recency worth tracking.
+func TrimCapped[K comparable, V any](m map[K]V, capN int) {
+	if len(m) < capN {
+		return
+	}
+	drop := capN / 4
+	for k := range m {
+		delete(m, k)
+		if drop--; drop <= 0 {
+			return
+		}
+	}
+}
+
+// SquaredCostMatrix returns the squared-Euclidean cost matrix C(xs, xs),
+// serving repeats of the same support from a content-hash-keyed cache.
+func SquaredCostMatrix(xs []float64) (*CostMatrix, error) {
+	h := newHasher()
+	h.floats(xs)
+	key := h.key()
+	squaredCostCache.RLock()
+	cm := squaredCostCache.m[key]
+	squaredCostCache.RUnlock()
+	if cm != nil {
+		return cm, nil
+	}
+	cm, err := NewCostMatrix(xs, xs, SquaredEuclidean)
+	if err != nil {
+		return nil, err
+	}
+	squaredCostCache.Lock()
+	TrimCapped(squaredCostCache.m, squaredCostCacheCap)
+	squaredCostCache.m[key] = cm
+	squaredCostCache.Unlock()
+	return cm, nil
+}

@@ -23,15 +23,32 @@ func Absolute(x, y float64) float64 { return math.Abs(x - y) }
 
 // PowerCost returns the cost |x−y|^p for p ≥ 1; p outside [1, ∞) panics
 // because Wp is not a metric below p = 1.
+//
+// The integer exponents the ablations sweep get multiply-only fast paths:
+// p = 1 is Absolute (one abs, no multiply — the W1 ground cost), p = 2 is
+// SquaredEuclidean (one multiply, no abs — the paper's default, under which
+// the monotone solver is exact), and p = 3 / p = 4 are closed with two or
+// three multiplies. Only non-integer exponents pay for math.Pow.
 func PowerCost(p float64) CostFn {
 	if p < 1 || math.IsNaN(p) || math.IsInf(p, 0) {
 		panic(fmt.Sprintf("ot: PowerCost needs p >= 1, got %v", p))
 	}
-	if p == 1 {
+	switch p {
+	case 1:
 		return Absolute
-	}
-	if p == 2 {
+	case 2:
 		return SquaredEuclidean
+	case 3:
+		return func(x, y float64) float64 {
+			d := math.Abs(x - y)
+			return d * d * d
+		}
+	case 4:
+		return func(x, y float64) float64 {
+			d := x - y
+			d *= d
+			return d * d
+		}
 	}
 	return func(x, y float64) float64 { return math.Pow(math.Abs(x-y), p) }
 }
@@ -41,6 +58,10 @@ func PowerCost(p float64) CostFn {
 type CostMatrix struct {
 	n, m int
 	c    []float64 // row-major
+	// maxC caches the largest entry at construction time: Sinkhorn's
+	// scale-free ε default reads it on every solve, and rescanning n·m
+	// entries per solve dominated small-cell solves in the seed.
+	maxC float64
 }
 
 // NewCostMatrix tabulates cost(x_i, y_j) for all pairs.
@@ -59,6 +80,7 @@ func NewCostMatrix(xs, ys []float64, cost CostFn) (*CostMatrix, error) {
 			row[j] = v
 		}
 	}
+	cm.sealMax()
 	return cm, nil
 }
 
@@ -105,7 +127,20 @@ func NewCostMatrixPoints(xs, ys [][]float64, cost PointCostFn) (*CostMatrix, err
 			row[j] = v
 		}
 	}
+	cm.sealMax()
 	return cm, nil
+}
+
+// sealMax records the largest entry; every constructor calls it exactly
+// once so Max is O(1) thereafter.
+func (c *CostMatrix) sealMax() {
+	max := 0.0
+	for _, v := range c.c {
+		if v > max {
+			max = v
+		}
+	}
+	c.maxC = max
 }
 
 // Dims reports the matrix shape.
@@ -114,13 +149,11 @@ func (c *CostMatrix) Dims() (n, m int) { return c.n, c.m }
 // At returns the cost of moving source state i to target state j.
 func (c *CostMatrix) At(i, j int) float64 { return c.c[i*c.m+j] }
 
-// Max returns the largest cost; Sinkhorn scales its regularization to it.
-func (c *CostMatrix) Max() float64 {
-	max := 0.0
-	for _, v := range c.c {
-		if v > max {
-			max = v
-		}
-	}
-	return max
-}
+// Row returns row i of the matrix as a sub-slice (not a copy). Callers must
+// treat it as read-only; the solvers use it to walk costs contiguously
+// without the per-element At indirection.
+func (c *CostMatrix) Row(i int) []float64 { return c.c[i*c.m : (i+1)*c.m] }
+
+// Max returns the largest cost, cached at construction; Sinkhorn scales its
+// default regularization to it on every solve.
+func (c *CostMatrix) Max() float64 { return c.maxC }

@@ -4,6 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+
+	"otfair/internal/vec"
 )
 
 // SinkhornOptions configures the entropically regularized solver.
@@ -16,6 +20,18 @@ type SinkhornOptions struct {
 	MaxIter int
 	// Tol is the L1 marginal-error stopping threshold (default 1e-9).
 	Tol float64
+	// CheckEvery runs the convergence check every k-th sweep (default 1).
+	// The check reuses the shifted exponentials the g-update computes
+	// anyway — one multiply-add per matrix element instead of the full
+	// Gibbs-plan re-materialization the pre-vec solver paid — so checking
+	// every sweep is already cheap; raising k trades marginal-error
+	// freshness for skipping even that.
+	CheckEvery int
+	// Workers caps the row/column sweep parallelism (0 = GOMAXPROCS).
+	// Sweeps only fan out on problems with at least sinkhornParallelMin
+	// matrix elements; small cells stay single-threaded to avoid
+	// goroutine overhead.
+	Workers int
 }
 
 func (o SinkhornOptions) withDefaults(cost *CostMatrix) SinkhornOptions {
@@ -28,8 +44,19 @@ func (o SinkhornOptions) withDefaults(cost *CostMatrix) SinkhornOptions {
 	if o.Tol <= 0 {
 		o.Tol = 1e-9
 	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
+
+// sinkhornParallelMin is the compacted-matrix size (nn·mm) above which the
+// potential sweeps are split across workers. Below it a sweep is a few tens
+// of microseconds and the fan-out overhead would dominate.
+const sinkhornParallelMin = 1 << 14
 
 // SinkhornResult reports the solver outcome alongside the plan.
 type SinkhornResult struct {
@@ -50,6 +77,16 @@ type SinkhornResult struct {
 // O(n_Q²/ε²)-complexity alternative discussed in Section IV-A1 of the
 // paper. Zero-mass marginal states are dropped and restored, matching the
 // exact solvers' convention.
+//
+// Implementation notes (see PERFORMANCE.md): the cost matrix is compacted
+// once into contiguous positive-mass rows pre-scaled by −1/ε, in both
+// row-major and column-major layouts, so the sweeps touch memory linearly
+// with no per-element indirection; potentials are kept in ε-scaled form
+// (φ = f/ε, γ = g/ε) to keep divisions out of the inner loops; the
+// f-update runs through the fused two-pass log-sum-exp kernel; the
+// g-update's shifted exponentials double as the convergence check's
+// row-mass accumulators; and both sweeps fan out across Workers for large
+// problems.
 //
 // The returned plan is dense over the positive-mass states, so it has up to
 // n·m atoms, unlike the sparse exact plans.
@@ -91,52 +128,117 @@ func Sinkhorn(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*Sinkhorn
 
 	logA := make([]float64, nn)
 	logB := make([]float64, mm)
+	aw := make([]float64, nn)
+	bw := make([]float64, mm)
 	for i, ri := range rowIdx {
-		logA[i] = math.Log(a[ri] / sa)
+		aw[i] = a[ri] / sa
+		logA[i] = math.Log(aw[i])
 	}
 	for j, cj := range colIdx {
-		logB[j] = math.Log(b[cj] / sb)
+		bw[j] = b[cj] / sb
+		logB[j] = math.Log(bw[j])
 	}
 
 	eps := opts.Epsilon
-	// Potentials f, g (scaled by 1/eps inside the LSE computations).
-	f := make([]float64, nn)
-	g := make([]float64, mm)
-	// Work buffers for log-sum-exp rows/cols.
-	buf := make([]float64, mm)
-	bufN := make([]float64, nn)
+	invEps := 1 / eps
 
-	costAt := func(i, j int) float64 { return cost.At(rowIdx[i], colIdx[j]) }
+	// Compact pre-scaled cost, row-major and column-major (raw buffers:
+	// the loop below writes every element).
+	ncRow := vec.GetBufRaw(nn * mm)
+	ncCol := vec.GetBufRaw(nn * mm)
+	defer vec.PutBuf(ncRow)
+	defer vec.PutBuf(ncCol)
+	for i, ri := range rowIdx {
+		src := cost.Row(ri)
+		dst := ncRow[i*mm : (i+1)*mm]
+		for j, cj := range colIdx {
+			v := -src[cj] * invEps
+			dst[j] = v
+			ncCol[j*nn+i] = v
+		}
+	}
+
+	// ε-scaled potentials φ = f/ε, γ = g/ε.
+	phi := make([]float64, nn)
+	gam := make([]float64, mm)
+	rowAcc := make([]float64, nn)
+
+	workers := opts.Workers
+	if nn*mm < sinkhornParallelMin {
+		workers = 1
+	}
+	if workers > nn {
+		workers = nn
+	}
+	if workers > mm {
+		workers = mm
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Per-worker scratch: one exp row plus one row-mass partial each
+	// (exp rows are fully written by ShiftedExpSum; the accumulator
+	// partials are zeroed per check sweep).
+	expBufs := make([][]float64, workers)
+	accParts := make([][]float64, workers)
+	for w := range expBufs {
+		expBufs[w] = vec.GetBufRaw(nn)
+		defer vec.PutBuf(expBufs[w])
+		if w > 0 {
+			accParts[w] = vec.GetBuf(nn)
+			defer vec.PutBuf(accParts[w])
+		}
+	}
+	accParts[0] = rowAcc
+
+	fSweep := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			phi[i] = logA[i] - vec.LogSumExp2(gam, ncRow[i*mm:(i+1)*mm])
+		}
+	}
+	gSweep := func(w, lo, hi int, check bool) {
+		expBuf := expBufs[w]
+		acc := accParts[w]
+		if check {
+			for i := range acc {
+				acc[i] = 0
+			}
+		}
+		for j := lo; j < hi; j++ {
+			max, sum := vec.ShiftedExpSum(expBuf, phi, ncCol[j*nn:(j+1)*nn])
+			gam[j] = logB[j] - (max + math.Log(sum))
+			if check {
+				// The plan's row masses: π_ij = exp(φ_i+γ_j+nc_ij)
+				//                             = expBuf_i · b_j / sum.
+				vec.Axpy(bw[j]/sum, expBuf, acc)
+			}
+		}
+	}
 
 	iter := 0
 	errL1 := math.Inf(1)
 	for ; iter < opts.MaxIter; iter++ {
-		// f_i ← ε·logA_i − ε·LSE_j((g_j − c_ij)/ε)
-		for i := 0; i < nn; i++ {
-			for j := 0; j < mm; j++ {
-				buf[j] = (g[j] - costAt(i, j)) / eps
+		check := (iter+1)%opts.CheckEvery == 0 || iter == opts.MaxIter-1
+		if workers == 1 {
+			fSweep(0, nn)
+			gSweep(0, 0, mm, check)
+		} else {
+			parallelRanges(workers, nn, func(w, lo, hi int) { fSweep(lo, hi) })
+			parallelRanges(workers, mm, func(w, lo, hi int) { gSweep(w, lo, hi, check) })
+			if check {
+				for w := 1; w < workers; w++ {
+					vec.Axpy(1, accParts[w], rowAcc)
+				}
 			}
-			f[i] = eps * (logA[i] - logSumExp(buf))
 		}
-		// g_j ← ε·logB_j − ε·LSE_i((f_i − c_ij)/ε)
-		for j := 0; j < mm; j++ {
-			for i := 0; i < nn; i++ {
-				bufN[i] = (f[i] - costAt(i, j)) / eps
+		if check {
+			// After a g-update the column marginals are exact; the row
+			// deviation accumulated above is the plan's true L1 error.
+			errL1 = vec.SumAbsDiff(rowAcc, aw)
+			if errL1 < opts.Tol {
+				iter++
+				break
 			}
-			g[j] = eps * (logB[j] - logSumExp(bufN))
-		}
-		// After a g-update the column marginals are exact; check rows.
-		errL1 = 0
-		for i := 0; i < nn; i++ {
-			rowMass := 0.0
-			for j := 0; j < mm; j++ {
-				rowMass += math.Exp((f[i] + g[j] - costAt(i, j)) / eps)
-			}
-			errL1 += math.Abs(rowMass - math.Exp(logA[i]))
-		}
-		if errL1 < opts.Tol {
-			iter++
-			break
 		}
 	}
 
@@ -145,20 +247,14 @@ func Sinkhorn(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*Sinkhorn
 	// to their targets, and distribute the residual as a rank-one patch.
 	// Without this step an unconverged plan can report a transport cost
 	// below the true optimum because it is not a coupling at all.
+	backing := make([]float64, nn*mm)
 	pi := make([][]float64, nn)
 	for i := range pi {
-		pi[i] = make([]float64, mm)
+		pi[i] = backing[i*mm : (i+1)*mm]
+		row := ncRow[i*mm : (i+1)*mm]
 		for j := 0; j < mm; j++ {
-			pi[i][j] = math.Exp((f[i] + g[j] - costAt(i, j)) / eps)
+			pi[i][j] = math.Exp(phi[i] + gam[j] + row[j])
 		}
-	}
-	aw := make([]float64, nn)
-	bw := make([]float64, mm)
-	for i, ri := range rowIdx {
-		aw[i] = a[ri] / sa
-	}
-	for j, cj := range colIdx {
-		bw[j] = b[cj] / sb
 	}
 	roundToFeasible(pi, aw, bw)
 
@@ -182,6 +278,25 @@ func Sinkhorn(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*Sinkhorn
 	}, nil
 }
 
+// parallelRanges splits [0, n) into workers contiguous chunks and runs fn
+// on each concurrently, blocking until all return.
+func parallelRanges(workers, n int, fn func(w, lo, hi int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // roundToFeasible projects an approximate plan onto the transport polytope
 // {π ≥ 0 : π1 = a, πᵀ1 = b} in place. Rows are scaled down to at most their
 // target mass, then columns likewise, then the remaining deficit is filled
@@ -190,22 +305,14 @@ func Sinkhorn(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*Sinkhorn
 func roundToFeasible(pi [][]float64, a, b []float64) {
 	nn, mm := len(pi), len(b)
 	for i := 0; i < nn; i++ {
-		rowMass := 0.0
-		for j := 0; j < mm; j++ {
-			rowMass += pi[i][j]
-		}
+		rowMass := vec.Sum(pi[i])
 		if rowMass > a[i] && rowMass > 0 {
-			scale := a[i] / rowMass
-			for j := 0; j < mm; j++ {
-				pi[i][j] *= scale
-			}
+			vec.Scale(a[i]/rowMass, pi[i])
 		}
 	}
 	colMass := make([]float64, mm)
 	for i := 0; i < nn; i++ {
-		for j := 0; j < mm; j++ {
-			colMass[j] += pi[i][j]
-		}
+		vec.Axpy(1, pi[i], colMass)
 	}
 	for j := 0; j < mm; j++ {
 		if colMass[j] > b[j] && colMass[j] > 0 {
@@ -219,11 +326,7 @@ func roundToFeasible(pi [][]float64, a, b []float64) {
 	errB := make([]float64, mm)
 	deficit := 0.0
 	for i := 0; i < nn; i++ {
-		rowMass := 0.0
-		for j := 0; j < mm; j++ {
-			rowMass += pi[i][j]
-		}
-		errA[i] = a[i] - rowMass
+		errA[i] = a[i] - vec.Sum(pi[i])
 		if errA[i] < 0 {
 			errA[i] = 0
 		}
@@ -244,27 +347,11 @@ func roundToFeasible(pi [][]float64, a, b []float64) {
 			if errA[i] == 0 {
 				continue
 			}
-			for j := 0; j < mm; j++ {
-				pi[i][j] += errA[i] * errB[j] / deficit
-			}
+			vec.Axpy(errA[i]/deficit, errB, pi[i])
 		}
 	}
 }
 
-// logSumExp computes log Σ exp(x_i) stably.
-func logSumExp(xs []float64) float64 {
-	max := math.Inf(-1)
-	for _, x := range xs {
-		if x > max {
-			max = x
-		}
-	}
-	if math.IsInf(max, -1) {
-		return math.Inf(-1)
-	}
-	s := 0.0
-	for _, x := range xs {
-		s += math.Exp(x - max)
-	}
-	return max + math.Log(s)
-}
+// logSumExp computes log Σ exp(x_i) stably. Kept as a thin wrapper over the
+// shared vec kernel for the package's other callers.
+func logSumExp(xs []float64) float64 { return vec.LogSumExp(xs) }

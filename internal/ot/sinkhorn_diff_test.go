@@ -1,0 +1,275 @@
+package ot
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// sinkhornReference is a verbatim copy of the seed (pre-vec) solver: dense
+// closure-based cost access, per-iteration full-plan re-materialization for
+// the convergence check. It is the oracle the refactored solver is pinned
+// against.
+func sinkhornReference(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*SinkhornResult, error) {
+	n, m := cost.Dims()
+	opts = opts.withDefaults(cost)
+	rowIdx := make([]int, 0, n)
+	colIdx := make([]int, 0, m)
+	sa, sb := 0.0, 0.0
+	for i, v := range a {
+		if v > 0 {
+			rowIdx = append(rowIdx, i)
+			sa += v
+		}
+	}
+	for j, v := range b {
+		if v > 0 {
+			colIdx = append(colIdx, j)
+			sb += v
+		}
+	}
+	nn, mm := len(rowIdx), len(colIdx)
+	logA := make([]float64, nn)
+	logB := make([]float64, mm)
+	for i, ri := range rowIdx {
+		logA[i] = math.Log(a[ri] / sa)
+	}
+	for j, cj := range colIdx {
+		logB[j] = math.Log(b[cj] / sb)
+	}
+	eps := opts.Epsilon
+	f := make([]float64, nn)
+	g := make([]float64, mm)
+	buf := make([]float64, mm)
+	bufN := make([]float64, nn)
+	costAt := func(i, j int) float64 { return cost.At(rowIdx[i], colIdx[j]) }
+	iter := 0
+	errL1 := math.Inf(1)
+	for ; iter < opts.MaxIter; iter++ {
+		for i := 0; i < nn; i++ {
+			for j := 0; j < mm; j++ {
+				buf[j] = (g[j] - costAt(i, j)) / eps
+			}
+			f[i] = eps * (logA[i] - logSumExp(buf))
+		}
+		for j := 0; j < mm; j++ {
+			for i := 0; i < nn; i++ {
+				bufN[i] = (f[i] - costAt(i, j)) / eps
+			}
+			g[j] = eps * (logB[j] - logSumExp(bufN))
+		}
+		errL1 = 0
+		for i := 0; i < nn; i++ {
+			rowMass := 0.0
+			for j := 0; j < mm; j++ {
+				rowMass += math.Exp((f[i] + g[j] - costAt(i, j)) / eps)
+			}
+			errL1 += math.Abs(rowMass - math.Exp(logA[i]))
+		}
+		if errL1 < opts.Tol {
+			iter++
+			break
+		}
+	}
+	pi := make([][]float64, nn)
+	for i := range pi {
+		pi[i] = make([]float64, mm)
+		for j := 0; j < mm; j++ {
+			pi[i][j] = math.Exp((f[i] + g[j] - costAt(i, j)) / eps)
+		}
+	}
+	aw := make([]float64, nn)
+	bw := make([]float64, mm)
+	for i, ri := range rowIdx {
+		aw[i] = a[ri] / sa
+	}
+	for j, cj := range colIdx {
+		bw[j] = b[cj] / sb
+	}
+	roundToFeasible(pi, aw, bw)
+	entries := make([]Entry, 0, nn*mm)
+	for i := 0; i < nn; i++ {
+		for j := 0; j < mm; j++ {
+			if mass := pi[i][j]; mass > 0 {
+				entries = append(entries, Entry{I: rowIdx[i], J: colIdx[j], Mass: mass})
+			}
+		}
+	}
+	plan, err := NewPlan(n, m, entries)
+	if err != nil {
+		return nil, err
+	}
+	return &SinkhornResult{Plan: plan, Iterations: iter, MarginalErr: errL1, Converged: errL1 < opts.Tol}, nil
+}
+
+// randomSinkhornProblem draws a support, two random (sparse-able) pmfs and
+// a squared-Euclidean cost.
+func randomSinkhornProblem(r *rand.Rand, n int) (a, b []float64, cost *CostMatrix) {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = -2 + 4*float64(i)/float64(n-1) + 0.1*r.NormFloat64()
+	}
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		if r.Float64() < 0.15 {
+			a[i] = 0 // exercise zero-mass state dropping
+		} else {
+			a[i] = r.Float64()
+		}
+		if r.Float64() < 0.15 {
+			b[i] = 0
+		} else {
+			b[i] = r.Float64()
+		}
+	}
+	a[0], b[n-1] = 1, 1 // guarantee positive mass
+	sa, sb := 0.0, 0.0
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	for i := range a {
+		a[i] /= sa
+		b[i] /= sb
+	}
+	cost, err := NewCostMatrix(xs, xs, SquaredEuclidean)
+	if err != nil {
+		panic(err)
+	}
+	return a, b, cost
+}
+
+func plansMaxDiff(p, q *Plan) float64 {
+	dp, dq := p.Dense(), q.Dense()
+	max := 0.0
+	for i := range dp {
+		for j := range dp[i] {
+			if d := math.Abs(dp[i][j] - dq[i][j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// TestSinkhornDifferential pins the vectorized solver against the seed
+// implementation within 1e-9 on randomized problems, covering the default
+// scale-free epsilon, explicit epsilon, and zero-mass dropping.
+func TestSinkhornDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(40)
+		a, b, cost := randomSinkhornProblem(r, n)
+		opts := SinkhornOptions{Tol: 1e-12, MaxIter: 20000}
+		if trial%3 == 0 {
+			opts.Epsilon = 0.05 + 0.2*r.Float64()
+		}
+		got, err := Sinkhorn(a, b, cost, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := sinkhornReference(a, b, cost, opts)
+		if err != nil {
+			t.Fatalf("trial %d (ref): %v", trial, err)
+		}
+		// The fused error accumulator agrees with the reference's
+		// re-materialized check only to float rounding, so the stopping
+		// sweep can shift by one when errL1 grazes Tol; the coupling itself
+		// must still match to 1e-9.
+		if d := got.Iterations - want.Iterations; d < -1 || d > 1 {
+			t.Errorf("trial %d: iterations %d vs reference %d", trial, got.Iterations, want.Iterations)
+		}
+		if d := plansMaxDiff(got.Plan, want.Plan); d > 1e-9 {
+			t.Fatalf("trial %d: plan deviates from reference by %v", trial, d)
+		}
+		if math.Abs(got.MarginalErr-want.MarginalErr) > 1e-9 {
+			t.Fatalf("trial %d: marginal err %v vs %v", trial, got.MarginalErr, want.MarginalErr)
+		}
+	}
+}
+
+// TestSinkhornParallelDifferential forces the parallel sweep path (problem
+// above sinkhornParallelMin) and pins it to the reference.
+func TestSinkhornParallelDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large problem")
+	}
+	r := rand.New(rand.NewSource(12))
+	n := 160 // 160² > sinkhornParallelMin
+	a, b, cost := randomSinkhornProblem(r, n)
+	opts := SinkhornOptions{Tol: 1e-10, Epsilon: 0.3}
+	got, err := Sinkhorn(a, b, cost, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sinkhornReference(a, b, cost, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Iterations - want.Iterations; d < -1 || d > 1 {
+		t.Errorf("iterations %d vs reference %d", got.Iterations, want.Iterations)
+	}
+	if d := plansMaxDiff(got.Plan, want.Plan); d > 1e-9 {
+		t.Fatalf("parallel plan deviates from reference by %v", d)
+	}
+}
+
+// TestSinkhornCheckEvery verifies that spacing the convergence check still
+// converges to the same coupling within tolerance.
+func TestSinkhornCheckEvery(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a, b, cost := randomSinkhornProblem(r, 30)
+	every1, err := Sinkhorn(a, b, cost, SinkhornOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	every10, err := Sinkhorn(a, b, cost, SinkhornOptions{Tol: 1e-12, CheckEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !every10.Converged {
+		t.Fatal("CheckEvery=10 did not converge")
+	}
+	if every10.Iterations < every1.Iterations {
+		t.Fatalf("CheckEvery=10 stopped earlier (%d) than every-sweep checking (%d)", every10.Iterations, every1.Iterations)
+	}
+	if d := plansMaxDiff(every1.Plan, every10.Plan); d > 1e-9 {
+		t.Fatalf("CheckEvery plans differ by %v", d)
+	}
+	if err := every10.Plan.CheckMarginals(a, b, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSinkhornParallelRace hammers the parallel sweep path from many
+// concurrent solves; run with -race to certify the worker fan-out.
+func TestSinkhornParallelRace(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	n := 140
+	a, b, cost := randomSinkhornProblem(r, n)
+	var wg sync.WaitGroup
+	results := make([]*SinkhornResult, 6)
+	for w := range results {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := Sinkhorn(a, b, cost, SinkhornOptions{Tol: 1e-8, Epsilon: 0.3, Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < len(results); w++ {
+		if results[w] == nil || results[0] == nil {
+			t.Fatal("missing result")
+		}
+		if d := plansMaxDiff(results[0].Plan, results[w].Plan); d > 1e-12 {
+			t.Fatalf("concurrent solve %d diverged by %v", w, d)
+		}
+	}
+}

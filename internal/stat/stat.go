@@ -9,6 +9,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"otfair/internal/vec"
 )
 
 // ErrEmpty is returned by reducers that are undefined on empty input.
@@ -20,11 +22,7 @@ func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
-	s := 0.0
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+	return vec.Sum(xs) / float64(len(xs))
 }
 
 // Variance returns the unbiased (n−1) sample variance; NaN if n < 2.
@@ -33,13 +31,7 @@ func Variance(xs []float64) float64 {
 	if n < 2 {
 		return math.NaN()
 	}
-	m := Mean(xs)
-	s := 0.0
-	for _, x := range xs {
-		d := x - m
-		s += d * d
-	}
-	return s / float64(n-1)
+	return vec.SumSqDev(xs, Mean(xs)) / float64(n-1)
 }
 
 // StdDev returns the unbiased sample standard deviation; NaN if n < 2.
@@ -51,13 +43,7 @@ func PopVariance(xs []float64) float64 {
 	if n == 0 {
 		return math.NaN()
 	}
-	m := Mean(xs)
-	s := 0.0
-	for _, x := range xs {
-		d := x - m
-		s += d * d
-	}
-	return s / float64(n)
+	return vec.SumSqDev(xs, Mean(xs)) / float64(n)
 }
 
 // MinMax returns the extrema of xs. It returns an error on empty input:
@@ -67,15 +53,7 @@ func MinMax(xs []float64) (lo, hi float64, err error) {
 	if len(xs) == 0 {
 		return 0, 0, ErrEmpty
 	}
-	lo, hi = xs[0], xs[0]
-	for _, x := range xs[1:] {
-		if x < lo {
-			lo = x
-		}
-		if x > hi {
-			hi = x
-		}
-	}
+	lo, hi = vec.MinMax(xs)
 	return lo, hi, nil
 }
 
@@ -214,13 +192,7 @@ func Linspace(lo, hi float64, n int) []float64 {
 }
 
 // Sum returns the sum of xs (0 for empty input).
-func Sum(xs []float64) float64 {
-	s := 0.0
-	for _, x := range xs {
-		s += x
-	}
-	return s
-}
+func Sum(xs []float64) float64 { return vec.Sum(xs) }
 
 // Normalize scales non-negative weights into a probability vector in place
 // and returns it. It returns ErrEmpty for empty input and an error when the
@@ -239,9 +211,7 @@ func Normalize(w []float64) ([]float64, error) {
 	if total <= 0 {
 		return nil, errors.New("stat: Normalize with zero total mass")
 	}
-	for i := range w {
-		w[i] /= total
-	}
+	vec.Scale(1/total, w)
 	return w, nil
 }
 
