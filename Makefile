@@ -10,10 +10,13 @@ BENCH_N ?= 1
 # The four paper artefacts (Table I, Figure 3, Figure 4, Table II); each
 # uses a fixed experiment seed so runs are comparable across machines.
 ARTEFACTS = BenchmarkTable1$$|BenchmarkFigure3$$|BenchmarkFigure4$$|BenchmarkTable2$$
+# Serving-layer throughput (records/sec): alias-table engine, its
+# categorical-draw baseline, and the fairserved HTTP round trip.
+THROUGHPUT = BenchmarkRepairThroughput|BenchmarkServeRepairHTTP$$
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
-.PHONY: build verify test vet race bench bench-micro
+.PHONY: build verify test vet race bench bench-micro serve-smoke
 
 build:
 	$(GO) build ./...
@@ -28,12 +31,19 @@ test:
 verify: vet build test
 
 # Race-certify the concurrent paths (parallel Sinkhorn sweeps, design cache,
-# parallel repair).
+# parallel repair, metric fan-out, plan store, serving layer).
 race:
-	$(GO) test -race ./internal/ot/ ./internal/core/ ./internal/vec/
+	$(GO) test -race ./internal/ot/ ./internal/core/ ./internal/vec/ \
+		./internal/fairmetrics/ ./internal/planstore/ ./internal/repairsvc/
+
+# Boot fairserved against synthetic data, repair through the full HTTP
+# round trip, and check byte-equivalence with the library path plus the E
+# metric improvement.
+serve-smoke:
+	$(GO) run ./cmd/fairserved -smoke
 
 bench:
-	$(GO) test -run '^$$' -bench '$(ARTEFACTS)' -benchtime 2x -count 1 . \
+	$(GO) test -run '^$$' -bench '$(ARTEFACTS)|$(THROUGHPUT)' -benchtime 2x -count 1 . \
 		| $(GO) run ./cmd/benchjson $(BASEFLAG) > BENCH_$(BENCH_N).json
 	@cat BENCH_$(BENCH_N).json
 

@@ -1,0 +1,109 @@
+package otfair_test
+
+// Throughput benchmarks for the serving layer: batch repair through the
+// precomputed alias-table engine, the O(row-nnz) categorical-draw baseline
+// it replaced, and the full HTTP round trip through fairserved's handler.
+// All three report records/sec so BENCH_*.json tracks serving throughput,
+// not just ns/op.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"otfair"
+	"otfair/internal/planstore"
+	"otfair/internal/repairsvc"
+)
+
+// benchServeState designs one plan and archive for the throughput benches.
+// The design is entropic (Sinkhorn) at n_Q=100: its plans are dense, so
+// every draw samples a ~n_Q-atom row — the sampling-bound regime where the
+// alias table's O(1) draw beats the O(row-nnz) inversion baseline. (With
+// the default monotone solver rows carry 1–2 atoms and both draw methods
+// are equally cheap.)
+func benchServeState(b *testing.B, nA int) (*otfair.Plan, *otfair.Table) {
+	b.Helper()
+	research, archive := benchSimData(b, 500, nA)
+	plan, err := otfair.Design(research, otfair.DesignOptions{NQ: 100, Solver: otfair.SolverSinkhorn})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, archive
+}
+
+func benchBatchRepair(b *testing.B, opts otfair.BatchOptions) {
+	plan, archive := benchServeState(b, 20000)
+	engine, err := otfair.NewBatchRepairer(plan, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := engine.RepairTable(otfair.NewRNG(uint64(i)+1), archive); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(archive.Len())*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// BenchmarkRepairThroughputAlias is the serving configuration: precomputed
+// alias tables, parallel shards.
+func BenchmarkRepairThroughputAlias(b *testing.B) {
+	benchBatchRepair(b, otfair.BatchOptions{})
+}
+
+// BenchmarkRepairThroughputAliasSerial isolates the per-draw win from the
+// shard fan-out.
+func BenchmarkRepairThroughputAliasSerial(b *testing.B) {
+	benchBatchRepair(b, otfair.BatchOptions{Workers: 1})
+}
+
+// BenchmarkRepairThroughputCategorical is the measured baseline the alias
+// tables replaced: the same engine with O(row-nnz) inversion draws,
+// single-worker to match AliasSerial.
+func BenchmarkRepairThroughputCategorical(b *testing.B) {
+	benchBatchRepair(b, otfair.BatchOptions{Workers: 1, Repair: otfair.RepairOptions{CategoricalDraws: true}})
+}
+
+// BenchmarkServeRepairHTTP measures the full service round trip: CSV
+// upload, streamed repair, CSV download through the fairserved handler.
+func BenchmarkServeRepairHTTP(b *testing.B) {
+	plan, archive := benchServeState(b, 20000)
+	store, err := planstore.Open(b.TempDir(), planstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, _, err := store.Put(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	var archiveCSV bytes.Buffer
+	if err := archive.WriteCSV(&archiveCSV); err != nil {
+		b.Fatal(err)
+	}
+	body := archiveCSV.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(srv.URL+"/v1/repair?plan="+id+"&seed=1", "text/csv", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("repair: %s", resp.Status)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(archive.Len())*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}

@@ -28,6 +28,10 @@ type Benchmark struct {
 	NsPerOp         float64 `json:"ns_per_op"`
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	Speedup         float64 `json:"speedup,omitempty"`
+	// Metrics carries any extra per-op metrics the benchmark reported via
+	// b.ReportMetric — e.g. the repair-throughput benchmarks' records/sec —
+	// keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the full document.
@@ -103,6 +107,18 @@ func main() {
 			continue
 		}
 		b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
+		// Remaining fields come in (value, unit) pairs: B/op, allocs/op and
+		// any custom b.ReportMetric units (records/sec, ...).
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
 		if prior, ok := baseline[name]; ok && ns > 0 {
 			b.BaselineNsPerOp = prior
 			b.Speedup = prior / ns

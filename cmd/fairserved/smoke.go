@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/fairmetrics"
+	"otfair/internal/planstore"
+	"otfair/internal/repairsvc"
+	"otfair/internal/rng"
+	"otfair/internal/simulate"
+)
+
+// runSmoke is the `make serve-smoke` body: the complete design → store →
+// serve → repair round trip against a real HTTP listener, checked for
+// byte-equivalence with the in-process library path and for an actual
+// fairness improvement in the E metric.
+func runSmoke() error {
+	const (
+		seed      = uint64(7)
+		nResearch = 400
+		nArchive  = 4000
+	)
+	sampler, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		return err
+	}
+	research, archive, err := sampler.ResearchArchive(rng.New(seed), nResearch, nArchive)
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "fairserved-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := planstore.Open(dir, planstore.Options{})
+	if err != nil {
+		return err
+	}
+	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{MetricWindow: nArchive})
+	if err != nil {
+		return err
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	// Design over HTTP.
+	var researchCSV bytes.Buffer
+	if err := research.WriteCSV(&researchCSV); err != nil {
+		return err
+	}
+	resp, err := http.Post(srv.URL+"/v1/plans?nq=50", "text/csv", &researchCSV)
+	if err != nil {
+		return err
+	}
+	var designed struct {
+		ID  string `json:"id"`
+		Dim int    `json:"dim"`
+	}
+	if err := decodeJSON(resp, &designed); err != nil {
+		return fmt.Errorf("design: %w", err)
+	}
+	fmt.Printf("designed plan %s (dim %d)\n", designed.ID, designed.Dim)
+
+	// Repair over HTTP, single worker for byte-equivalence.
+	var archiveCSV bytes.Buffer
+	if err := archive.WriteCSV(&archiveCSV); err != nil {
+		return err
+	}
+	resp, err = http.Post(srv.URL+"/v1/repair?plan="+designed.ID+"&seed=1&workers=1", "text/csv", &archiveCSV)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("repair: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	// In-process reference: same plan (reloaded from the store), same seed.
+	plan, err := store.Get(designed.ID)
+	if err != nil {
+		return err
+	}
+	rp, err := core.NewRepairer(plan, rng.New(1), core.RepairOptions{})
+	if err != nil {
+		return err
+	}
+	reference, err := rp.RepairTable(archive)
+	if err != nil {
+		return err
+	}
+	var refCSV bytes.Buffer
+	if err := reference.WriteCSV(&refCSV); err != nil {
+		return err
+	}
+	if !bytes.Equal(served, refCSV.Bytes()) {
+		return fmt.Errorf("serve path diverged from in-process repair (%d vs %d bytes)", len(served), refCSV.Len())
+	}
+	fmt.Printf("serve path byte-identical to in-process repair (%d records, %d bytes)\n", archive.Len(), len(served))
+
+	// The repaired archive must measure substantially fairer.
+	repaired, err := dataset.ReadCSV(bytes.NewReader(served))
+	if err != nil {
+		return err
+	}
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorPlugin}
+	before, err := fairmetrics.E(archive, cfg)
+	if err != nil {
+		return err
+	}
+	after, err := fairmetrics.E(repaired, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E metric: %.4f -> %.4f\n", before, after)
+	if !(after < before/3) {
+		return fmt.Errorf("repair too weak: E %.4f -> %.4f", before, after)
+	}
+
+	// Metrics endpoint answers and carries the counters.
+	resp, err = http.Get(srv.URL + "/v1/metrics?plan=" + designed.ID)
+	if err != nil {
+		return err
+	}
+	var metrics struct {
+		Engine struct {
+			Records int64 `json:"records"`
+		} `json:"engine"`
+	}
+	if err := decodeJSON(resp, &metrics); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if metrics.Engine.Records != int64(archive.Len()) {
+		return fmt.Errorf("metrics records = %d, want %d", metrics.Engine.Records, archive.Len())
+	}
+	fmt.Printf("metrics endpoint: %d records served\n", metrics.Engine.Records)
+	return nil
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -99,9 +99,15 @@ func AutoTuneNQ(research *dataset.Table, r *rng.RNG, opts AutoTuneOptions) (*Aut
 		if err != nil {
 			return nil, fmt.Errorf("core: autotune nQ=%d: %w", nq, err)
 		}
+		// One sampler per candidate plan; the Monte-Carlo repairers below
+		// share it instead of rebuilding the draw tables every repetition.
+		sampler, err := NewPlanSampler(plan)
+		if err != nil {
+			return nil, err
+		}
 		mean := 0.0
 		for rep := 0; rep < opts.Repeats; rep++ {
-			rp, err := NewRepairer(plan, r.Split(uint64(step*1000+rep)), RepairOptions{})
+			rp, err := NewRepairerShared(sampler, r.Split(uint64(step*1000+rep)), RepairOptions{})
 			if err != nil {
 				return nil, err
 			}

@@ -25,14 +25,34 @@ func RepairTableParallel(plan *Plan, r *rng.RNG, opts RepairOptions, t *dataset.
 	if plan == nil {
 		return nil, diag, errors.New("core: nil plan")
 	}
+	// One immutable sampler serves every shard: the alias tables are built
+	// once per plan, not once per worker.
+	sampler, err := NewPlanSampler(plan)
+	if err != nil {
+		return nil, diag, err
+	}
+	return RepairTableParallelShared(sampler, r, opts, t, workers)
+}
+
+// RepairTableParallelShared is RepairTableParallel over a caller-held
+// sampler, so serving layers binding many repair calls to one plan build
+// the draw tables exactly once. The sharding and per-shard Split streams
+// are identical to RepairTableParallel's — including the clamp to a single
+// Split(0) shard on tables smaller than the worker count — so the two are
+// byte-identical for the same inputs.
+func RepairTableParallelShared(sampler *PlanSampler, r *rng.RNG, opts RepairOptions, t *dataset.Table, workers int) (*dataset.Table, Diagnostics, error) {
+	var diag Diagnostics
+	if sampler == nil {
+		return nil, diag, errors.New("core: nil sampler")
+	}
 	if r == nil {
 		return nil, diag, errors.New("core: nil rng")
 	}
 	if t == nil {
 		return nil, diag, errors.New("core: nil table")
 	}
-	if t.Dim() != plan.Dim {
-		return nil, diag, fmt.Errorf("core: table dimension %d does not match plan %d", t.Dim(), plan.Dim)
+	if t.Dim() != sampler.plan.Dim {
+		return nil, diag, fmt.Errorf("core: table dimension %d does not match plan %d", t.Dim(), sampler.plan.Dim)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -42,7 +62,7 @@ func RepairTableParallel(plan *Plan, r *rng.RNG, opts RepairOptions, t *dataset.
 		workers = n
 	}
 	if workers <= 1 {
-		rp, err := NewRepairer(plan, r.Split(0), opts)
+		rp, err := NewRepairerShared(sampler, r.Split(0), opts)
 		if err != nil {
 			return nil, diag, err
 		}
@@ -60,7 +80,7 @@ func RepairTableParallel(plan *Plan, r *rng.RNG, opts RepairOptions, t *dataset.
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			rp, err := NewRepairer(plan, r.Split(uint64(w)), opts)
+			rp, err := NewRepairerShared(sampler, r.Split(uint64(w)), opts)
 			if err != nil {
 				errs[w] = err
 				return

@@ -27,6 +27,13 @@ type RepairOptions struct {
 	// features to future work (Section VI); this is the repository's
 	// answer, off by default to keep Algorithm 2 faithful.
 	KernelDither bool
+	// CategoricalDraws replaces the O(1) alias-table draw of line 9 with
+	// the O(row-nnz) inversion draw. The repaired distribution is identical
+	// (both sample the same multinomial) but the variate stream differs, so
+	// outputs are not byte-comparable across the two modes. This is the
+	// measured baseline for the alias-table throughput benchmarks; leave it
+	// off in production.
+	CategoricalDraws bool
 }
 
 // Diagnostics counts the boundary conditions Algorithm 2 encounters.
@@ -44,36 +51,42 @@ type Diagnostics struct {
 
 // Repairer applies a designed Plan to off-sample data (Algorithm 2).
 // A Repairer is not safe for concurrent use: it owns an RNG stream. Create
-// one per goroutine with independent rng.RNG splits.
+// one per goroutine with independent rng.RNG splits; they can all share one
+// PlanSampler (see NewRepairerShared).
 type Repairer struct {
-	plan *Plan
-	rng  *rng.RNG
-	opts RepairOptions
-	diag Diagnostics
-	// alias caches one alias table per (u, s, k, row), built lazily: the
-	// torrent path draws from the same few rows millions of times.
-	alias map[aliasKey]*rowSampler
+	plan    *Plan
+	sampler *PlanSampler
+	rng     *rng.RNG
+	opts    RepairOptions
+	diag    Diagnostics
 }
 
-type aliasKey struct {
-	u, s, k, row int
-}
-
-// rowSampler draws a target state from one normalized plan row.
-type rowSampler struct {
-	targets []int
-	table   *rng.Alias
-}
-
-// NewRepairer binds a plan to a randomness source.
+// NewRepairer binds a plan to a randomness source, precomputing the plan's
+// alias draw tables. When creating many repairers over one plan (parallel
+// shards, serving fleets), build the PlanSampler once and use
+// NewRepairerShared instead.
 func NewRepairer(plan *Plan, r *rng.RNG, opts RepairOptions) (*Repairer, error) {
 	if plan == nil {
 		return nil, errors.New("core: nil plan")
 	}
+	sampler, err := NewPlanSampler(plan)
+	if err != nil {
+		return nil, err
+	}
+	return NewRepairerShared(sampler, r, opts)
+}
+
+// NewRepairerShared binds a precomputed (shared, immutable) PlanSampler to
+// a randomness source. The draw stream is identical to NewRepairer's for
+// the same RNG, so outputs are byte-identical across the two constructors.
+func NewRepairerShared(sampler *PlanSampler, r *rng.RNG, opts RepairOptions) (*Repairer, error) {
+	if sampler == nil {
+		return nil, errors.New("core: nil sampler")
+	}
 	if r == nil {
 		return nil, errors.New("core: nil rng")
 	}
-	return &Repairer{plan: plan, rng: r, opts: opts, alias: make(map[aliasKey]*rowSampler)}, nil
+	return &Repairer{plan: sampler.plan, sampler: sampler, rng: r, opts: opts}, nil
 }
 
 // Diagnostics returns the counters accumulated so far.
@@ -103,7 +116,7 @@ func (rp *Repairer) RepairValue(u, s, k int, x float64) (float64, error) {
 		x += cell.H[s] * kde.Sample(rp.plan.Opts.Kernel, rp.rng)
 	}
 	q := rp.snapToGrid(cell, x)
-	j := rp.drawTarget(cell, u, s, k, q)
+	j := rp.drawTarget(u, s, k, q)
 	out := cell.Q[j]
 	if rp.opts.Jitter {
 		out = rp.jitter(cell, j, out)
@@ -146,45 +159,18 @@ func (rp *Repairer) snapToGrid(cell *Cell, x float64) int {
 
 // drawTarget implements line 9: draw the repaired state from the
 // multinomial given by normalized row q of π*_s (Eq. 15). Zero-mass rows
-// (supports cells where the research KDE carried no mass) fall back to the
-// nearest row with mass, counted in diagnostics.
-func (rp *Repairer) drawTarget(cell *Cell, u, s, k, q int) int {
-	key := aliasKey{u: u, s: s, k: k, row: q}
-	sampler, ok := rp.alias[key]
-	if !ok {
-		row := rp.nearestMassiveRow(cell, s, q)
-		if row != q {
-			rp.diag.EmptyRowFallbacks++
-		}
-		targets, probs, ok := cell.Plans[s].RowConditional(row)
-		if !ok {
-			// nearestMassiveRow guarantees mass; reaching here means the
-			// whole plan is empty, which Design cannot produce.
-			panic("core: plan has no mass in any row")
-		}
-		sampler = &rowSampler{targets: targets, table: rng.NewAlias(probs)}
-		rp.alias[key] = sampler
+// (supports cells where the research KDE carried no mass) were resolved to
+// the nearest row with mass when the sampler was built; draws through them
+// are counted in diagnostics.
+func (rp *Repairer) drawTarget(u, s, k, q int) int {
+	row := rp.sampler.row(u, s, k, q)
+	if row.fallback {
+		rp.diag.EmptyRowFallbacks++
 	}
-	return sampler.targets[sampler.table.Draw(rp.rng)]
-}
-
-// nearestMassiveRow returns q if row q of plan s has mass, otherwise the
-// closest row index that does.
-func (rp *Repairer) nearestMassiveRow(cell *Cell, s, q int) int {
-	plan := cell.Plans[s]
-	if plan.RowMass(q) > 0 {
-		return q
+	if rp.opts.CategoricalDraws {
+		return row.targets[rp.rng.Categorical(row.probs)]
 	}
-	n := len(cell.Q)
-	for d := 1; d < n; d++ {
-		if q-d >= 0 && plan.RowMass(q-d) > 0 {
-			return q - d
-		}
-		if q+d < n && plan.RowMass(q+d) > 0 {
-			return q + d
-		}
-	}
-	return q
+	return row.targets[row.table.Draw(rp.rng)]
 }
 
 // jitter spreads a repaired value uniformly within its grid cell, clamped

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,6 +94,41 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// MarshalCanonical returns the plan's canonical serialized form — exactly
+// the bytes WriteJSON emits. encoding/json sorts map keys and the cell
+// slices are in fixed (u, k) order, so the bytes are a pure function of the
+// plan's content: equal plans serialize identically, which is what lets the
+// plan store key on a content hash of this buffer.
+func (p *Plan) MarshalCanonical() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Fingerprint returns the 128-bit content hash of the canonical serialized
+// plan as a 32-character lowercase hex ID — the key the disk-backed plan
+// store and the serving layer address plans by. Plans with identical
+// content (including options) share a fingerprint; any semantic change
+// yields a new one.
+func (p *Plan) Fingerprint() (string, error) {
+	raw, err := p.MarshalCanonical()
+	if err != nil {
+		return "", err
+	}
+	return FingerprintBytes(raw), nil
+}
+
+// FingerprintBytes is the fingerprint of an already-serialized canonical
+// plan. It is the single definition of the hash-to-ID encoding: callers
+// that hold the bytes (the plan store's Put) and Fingerprint must agree,
+// or content addressing breaks.
+func FingerprintBytes(raw []byte) string {
+	h := ot.HashBytes(raw)
+	return fmt.Sprintf("%016x%016x", h[0], h[1])
 }
 
 // ReadPlan deserializes a plan written by WriteJSON, re-validating every

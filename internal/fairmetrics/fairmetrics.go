@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"otfair/internal/dataset"
 	"otfair/internal/divergence"
@@ -90,6 +92,11 @@ type Config struct {
 	// range by this many (max) bandwidths so KDE tails are represented
 	// (default 1).
 	PadBandwidths float64
+	// Workers fans the per-(u, feature) cell estimates across goroutines
+	// (0 = GOMAXPROCS, 1 = serial). Each cell is independent and the
+	// assembly order is fixed, so the result is identical for any worker
+	// count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -157,29 +164,82 @@ func Compute(t *dataset.Table, cfg Config) (*Result, error) {
 		return nil, errors.New("fairmetrics: no labelled records")
 	}
 
-	res := &Result{PerFeature: make([]float64, t.Dim())}
+	// Enumerate the (feature, u) cells in the fixed assembly order; each is
+	// an independent density-estimation problem, which is what makes the
+	// fan-out below deterministic: workers only write their own slot.
+	type cellJob struct{ k, u int }
+	var jobs []cellJob
 	for k := 0; k < t.Dim(); k++ {
-		ek := 0.0
 		for u := 0; u < 2; u++ {
-			if nU[u] == 0 {
-				continue
+			if nU[u] > 0 {
+				jobs = append(jobs, cellJob{k: k, u: u})
 			}
-			weight := float64(nU[u]) / float64(total)
-			x0 := t.GroupColumn(dataset.Group{U: u, S: 0}, k)
-			x1 := t.GroupColumn(dataset.Group{U: u, S: 1}, k)
-			if len(x0) == 0 || len(x1) == 0 {
-				return nil, fmt.Errorf("fairmetrics: u=%d population lacks an s-class (n0=%d, n1=%d)", u, len(x0), len(x1))
-			}
-			eu, err := symKLOnSharedGrid(x0, x1, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fairmetrics: u=%d feature %d: %w", u, k, err)
-			}
-			res.Details = append(res.Details, Detail{
-				U: u, Feature: k, EU: eu, WeightU: weight, N0: len(x0), N1: len(x1),
-			})
-			ek += weight * eu
 		}
-		res.PerFeature[k] = ek
+	}
+	details := make([]Detail, len(jobs))
+	errs := make([]error, len(jobs))
+	run := func(j int) {
+		job := jobs[j]
+		x0 := t.GroupColumn(dataset.Group{U: job.u, S: 0}, job.k)
+		x1 := t.GroupColumn(dataset.Group{U: job.u, S: 1}, job.k)
+		if len(x0) == 0 || len(x1) == 0 {
+			errs[j] = fmt.Errorf("fairmetrics: u=%d population lacks an s-class (n0=%d, n1=%d)", job.u, len(x0), len(x1))
+			return
+		}
+		eu, err := symKLOnSharedGrid(x0, x1, cfg)
+		if err != nil {
+			errs[j] = fmt.Errorf("fairmetrics: u=%d feature %d: %w", job.u, job.k, err)
+			return
+		}
+		details[j] = Detail{
+			U: job.u, Feature: job.k, EU: eu,
+			WeightU: float64(nU[job.u]) / float64(total),
+			N0:      len(x0), N1: len(x1),
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for j := range jobs {
+			run(j)
+			// Serial mode fails fast; jobs run in cell order, so this is
+			// the same first-in-order error the scan below reports.
+			if errs[j] != nil {
+				return nil, errs[j]
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					run(j)
+				}
+			}()
+		}
+		for j := range jobs {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+	}
+	// First error in cell order, so serial and parallel runs fail alike.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{PerFeature: make([]float64, t.Dim()), Details: details}
+	for j, job := range jobs {
+		res.PerFeature[job.k] += details[j].WeightU * details[j].EU
 	}
 	res.Aggregate = stat.Mean(res.PerFeature)
 	return res, nil

@@ -1,0 +1,123 @@
+package fairmetrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// wideTable builds a labelled table with many features so the (u, k) cell
+// fan-out actually spreads work.
+func wideTable(t *testing.T, seed uint64, n, dim int) *dataset.Table {
+	t.Helper()
+	r := rng.New(seed)
+	tbl, err := dataset.NewTable(dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		u, s := r.IntN(2), r.IntN(2)
+		x := make([]float64, dim)
+		for k := range x {
+			x[k] = float64(u) + 0.8*float64(s)*float64(k%3) + r.Norm()
+		}
+		if err := tbl.Append(dataset.Record{X: x, S: s, U: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// TestComputeParallelMatchesSerial pins every estimator's parallel result
+// to the serial one bit-for-bit: the cells are independent and assembled in
+// fixed order, so no tolerance is needed.
+func TestComputeParallelMatchesSerial(t *testing.T) {
+	tbl := wideTable(t, 1, 600, 7)
+	for _, est := range []Estimator{EstimatorKDE, EstimatorHistogram, EstimatorPlugin} {
+		serial, err := Compute(tbl, Config{Estimator: est, Workers: 1})
+		if err != nil {
+			t.Fatalf("%v serial: %v", est, err)
+		}
+		parallel, err := Compute(tbl, Config{Estimator: est, Workers: 8})
+		if err != nil {
+			t.Fatalf("%v parallel: %v", est, err)
+		}
+		if serial.Aggregate != parallel.Aggregate {
+			t.Errorf("%v: aggregate %v != %v", est, serial.Aggregate, parallel.Aggregate)
+		}
+		for k := range serial.PerFeature {
+			if serial.PerFeature[k] != parallel.PerFeature[k] {
+				t.Errorf("%v: feature %d: %v != %v", est, k, serial.PerFeature[k], parallel.PerFeature[k])
+			}
+		}
+		if len(serial.Details) != len(parallel.Details) {
+			t.Fatalf("%v: detail count %d != %d", est, len(serial.Details), len(parallel.Details))
+		}
+		for i := range serial.Details {
+			if serial.Details[i] != parallel.Details[i] {
+				t.Errorf("%v: detail %d: %+v != %+v", est, i, serial.Details[i], parallel.Details[i])
+			}
+		}
+		if math.IsNaN(serial.Aggregate) {
+			t.Errorf("%v: NaN aggregate", est)
+		}
+	}
+}
+
+// TestComputeParallelErrorOrder checks that a missing s-class fails with
+// the same (first-cell-in-order) error regardless of worker count.
+func TestComputeParallelErrorOrder(t *testing.T) {
+	tbl, err := dataset.NewTable(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		// u=1 has only s=0: E_{u=1} undefined.
+		tbl.Append(dataset.Record{X: []float64{r.Norm(), r.Norm()}, S: r.IntN(2), U: 0})
+		tbl.Append(dataset.Record{X: []float64{r.Norm(), r.Norm()}, S: 0, U: 1})
+	}
+	serialErr := func() string {
+		_, err := Compute(tbl, Config{Workers: 1})
+		if err == nil {
+			t.Fatal("serial: no error for missing s-class")
+		}
+		return err.Error()
+	}()
+	_, err = Compute(tbl, Config{Workers: 8})
+	if err == nil {
+		t.Fatal("parallel: no error for missing s-class")
+	}
+	if err.Error() != serialErr {
+		t.Errorf("error order changed: %q vs %q", err.Error(), serialErr)
+	}
+}
+
+// TestComputeConcurrentCallers runs Compute itself from many goroutines
+// (each internally parallel); under -race this certifies the fan-out.
+func TestComputeConcurrentCallers(t *testing.T) {
+	tbl := wideTable(t, 3, 400, 5)
+	want, err := Compute(tbl, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Compute(tbl, Config{Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.Aggregate != want.Aggregate {
+				t.Errorf("concurrent aggregate %v != %v", got.Aggregate, want.Aggregate)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -180,6 +180,29 @@ func (m *Monitor) Seen() int64 { return m.seen }
 // Fired returns the number of alarms raised so far.
 func (m *Monitor) Fired() int64 { return m.fired }
 
+// Summary is a point-in-time view of the monitor for serving dashboards
+// (the /v1/metrics endpoint of cmd/fairserved) and logs.
+type Summary struct {
+	// Seen and Fired mirror the cumulative counters.
+	Seen, Fired int64
+	// WatchedCells is the number of (u,s,feature) cells with any
+	// observations; FullWindows counts those whose rolling window has
+	// filled, i.e. cells the statistics actually run on.
+	WatchedCells, FullWindows int
+}
+
+// Snapshot summarizes the monitor's current state. Like every Monitor
+// method it must not race Observe; callers serialize access.
+func (m *Monitor) Snapshot() Summary {
+	s := Summary{Seen: m.seen, Fired: m.fired, WatchedCells: len(m.cells)}
+	for _, cs := range m.cells {
+		if cs.n == len(cs.ring) {
+			s.FullWindows++
+		}
+	}
+	return s
+}
+
 // Observe ingests one labelled record and returns any alarms it triggers
 // (usually none). Records with unknown s are ignored: the monitor watches
 // the same (u,s,k)-cells the plans are indexed by.

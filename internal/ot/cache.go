@@ -52,6 +52,28 @@ func HashFloats(slices ...[]float64) [2]uint64 {
 	return [2]uint64{h.h1, h.h2}
 }
 
+// HashBytes returns the same 128-bit content hash over a byte stream,
+// folding eight bytes per word (little-endian, length-prefixed). It keys
+// the disk-backed plan store on canonical serialized plans, the same
+// fingerprint family the in-process design caches use.
+func HashBytes(b []byte) [2]uint64 {
+	h := newHasher()
+	h.word(uint64(len(b)))
+	for len(b) >= 8 {
+		h.word(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * i)
+		}
+		h.word(tail)
+	}
+	return [2]uint64{h.h1, h.h2}
+}
+
 // squaredCostCache memoizes C(Q,Q) matrices for the squared-Euclidean cost,
 // keyed by the support's content hash. Algorithm 1 designs two plans per
 // (u, feature) cell on the same support, ablations re-solve on identical

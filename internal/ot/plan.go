@@ -199,6 +199,40 @@ func (p *Plan) RowConditional(i int) (targets []int, probs []float64, ok bool) {
 	return targets, probs, true
 }
 
+// TruncateSubUlp sparsifies one row of a dense (entropic) plan in place:
+// atoms whose mass is below one ulp of the row total — mass so small that
+// adding it to the total cannot change the float64 result — are zeroed and
+// their sum is folded into the row's dominant atom, so the row marginal is
+// preserved exactly. The multinomial Algorithm 2 samples from the row is
+// unchanged at float64 resolution (a dropped atom's draw probability is
+// below 2⁻⁵²), but the draw and alias tables built from the row shrink from
+// the full n_Q support to the effective one, which is what keeps archival
+// repair memory bounded for Sinkhorn designs at n_Q = 250+. It returns the
+// number of atoms dropped.
+func TruncateSubUlp(row []float64) (dropped int) {
+	total, maxIdx := 0.0, -1
+	for j, v := range row {
+		total += v
+		if maxIdx < 0 || v > row[maxIdx] {
+			maxIdx = j
+		}
+	}
+	if maxIdx < 0 || total <= 0 {
+		return 0
+	}
+	thresh := total * 0x1p-52
+	folded := 0.0
+	for j, v := range row {
+		if v > 0 && v < thresh && j != maxIdx {
+			folded += v
+			row[j] = 0
+			dropped++
+		}
+	}
+	row[maxIdx] += folded
+	return dropped
+}
+
 // BarycentricProjection returns, for each source state, the conditional
 // mean of the target support under the plan: T(i) = Σ_j π_ij y_j / Σ_j π_ij.
 // This is the deterministic (Monge-like) repair map that the geometric

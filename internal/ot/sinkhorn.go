@@ -32,6 +32,14 @@ type SinkhornOptions struct {
 	// matrix elements; small cells stay single-threaded to avoid
 	// goroutine overhead.
 	Workers int
+	// KeepSubUlp retains the sub-ulp atoms of the materialized plan instead
+	// of folding them into each row's dominant atom (see TruncateSubUlp).
+	// Entropic plans are dense — every (i,j) pair carries mass, most of it
+	// many orders of magnitude below resolvable probability — so truncation
+	// is on by default to keep the draw tables Algorithm 2 samples from
+	// proportional to the *effective* support. This knob exists for the
+	// differential tests that pin the truncated path against the full plan.
+	KeepSubUlp bool
 }
 
 func (o SinkhornOptions) withDefaults(cost *CostMatrix) SinkhornOptions {
@@ -257,6 +265,11 @@ func Sinkhorn(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*Sinkhorn
 		}
 	}
 	roundToFeasible(pi, aw, bw)
+	if !opts.KeepSubUlp {
+		for i := range pi {
+			TruncateSubUlp(pi[i])
+		}
+	}
 
 	entries := make([]Entry, 0, nn*mm)
 	for i := 0; i < nn; i++ {

@@ -1,0 +1,278 @@
+// Package repairsvc is the serving layer of the repository: a batched,
+// sharded implementation of Algorithm 2 (the Engine) and an HTTP front end
+// (the Server) that together turn a once-designed repair plan into a
+// long-running archival-repair service — the deployment mode the paper's
+// design/apply split exists for.
+//
+// The Engine owns one immutable core.PlanSampler — every (u, s, feature,
+// support-row) multinomial of the plan resolved into an alias table once,
+// at bind time — and fans incoming records across worker goroutines, each
+// holding its own core.Repairer over the shared sampler with a
+// deterministic rng.Split stream. Determinism contract:
+//
+//   - Workers == 1 consumes the caller's RNG stream directly, so output is
+//     byte-identical to core.Repairer.RepairTable / RepairStream with the
+//     same seed — the property the serve-path equivalence tests pin.
+//   - Workers > 1 shards a table contiguously with per-shard streams
+//     r.Split(w), byte-identical to core.RepairTableParallel; streams are
+//     repaired in chunks with per-(chunk, shard) streams, reproducible for
+//     a fixed (seed, workers, chunk size) regardless of scheduling.
+package repairsvc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the shard fan-out (0 = GOMAXPROCS, 1 = the serial
+	// byte-compatible mode).
+	Workers int
+	// ChunkSize is the number of records repaired per parallel wave in
+	// streaming mode (default 4096). Larger chunks amortize fan-out
+	// overhead; smaller chunks bound latency and memory.
+	ChunkSize int
+	// Repair is passed through to every shard repairer.
+	Repair core.RepairOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 4096
+	}
+	return o
+}
+
+// Totals are the engine's cumulative serving counters, aggregated across
+// all requests and shards. Table repairs are all-or-nothing: a failed
+// RepairTable contributes nothing (its output is discarded). Stream
+// repairs count the records actually emitted to the sink, so a request
+// that fails mid-stream still accounts the traffic it served.
+type Totals struct {
+	// Records and Values count repaired records and feature values.
+	Records, Values int64
+	// Clamped and EmptyRowFallbacks aggregate core.Diagnostics.
+	Clamped, EmptyRowFallbacks int64
+}
+
+// Engine is a batched repairer bound to one plan. It is safe for
+// concurrent use: all mutable state is atomic, and the sampler is
+// immutable.
+type Engine struct {
+	plan    *core.Plan
+	sampler *core.PlanSampler
+	opts    Options
+
+	records   atomic.Int64
+	values    atomic.Int64
+	clamped   atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// NewEngine precomputes the plan's alias tables and returns an engine.
+func NewEngine(plan *core.Plan, opts Options) (*Engine, error) {
+	sampler, err := core.NewPlanSampler(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{plan: plan, sampler: sampler, opts: opts.withDefaults()}, nil
+}
+
+// Plan returns the bound plan.
+func (e *Engine) Plan() *core.Plan { return e.plan }
+
+// withWorkers derives an engine with a different fan-out over the same
+// plan and precomputed sampler — the per-request ?workers= override path,
+// which must not rebuild the alias tables. Counters start at zero; the
+// caller folds them back into the primary engine via account.
+func (e *Engine) withWorkers(workers int) *Engine {
+	opts := e.opts
+	opts.Workers = workers
+	return &Engine{plan: e.plan, sampler: e.sampler, opts: opts.withDefaults()}
+}
+
+// Totals returns a snapshot of the cumulative counters.
+func (e *Engine) Totals() Totals {
+	return Totals{
+		Records:           e.records.Load(),
+		Values:            e.values.Load(),
+		Clamped:           e.clamped.Load(),
+		EmptyRowFallbacks: e.fallbacks.Load(),
+	}
+}
+
+func (e *Engine) account(n int, d core.Diagnostics) {
+	e.records.Add(int64(n))
+	e.values.Add(d.Repaired)
+	e.clamped.Add(d.Clamped)
+	e.fallbacks.Add(d.EmptyRowFallbacks)
+}
+
+// RepairTable repairs a table. With Workers == 1 it is byte-identical to
+// core.Repairer.RepairTable on the same RNG; with Workers == w > 1 it is
+// byte-identical to core.RepairTableParallel with w workers, including its
+// clamp to a single Split(0) shard on tables smaller than w.
+func (e *Engine) RepairTable(r *rng.RNG, t *dataset.Table) (*dataset.Table, core.Diagnostics, error) {
+	var diag core.Diagnostics
+	if r == nil {
+		return nil, diag, errors.New("repairsvc: nil rng")
+	}
+	if t == nil {
+		return nil, diag, errors.New("repairsvc: nil table")
+	}
+	if t.Dim() != e.plan.Dim {
+		return nil, diag, fmt.Errorf("repairsvc: table dimension %d does not match plan %d", t.Dim(), e.plan.Dim)
+	}
+	if e.opts.Workers == 1 {
+		rp, err := core.NewRepairerShared(e.sampler, r, e.opts.Repair)
+		if err != nil {
+			return nil, diag, err
+		}
+		out, err := rp.RepairTable(t)
+		if err != nil {
+			return nil, diag, err
+		}
+		diag = rp.Diagnostics()
+		e.account(t.Len(), diag)
+		return out, diag, nil
+	}
+	out, diag, err := core.RepairTableParallelShared(e.sampler, r, e.opts.Repair, t, e.opts.Workers)
+	if err != nil {
+		return nil, diag, err
+	}
+	e.account(t.Len(), diag)
+	return out, diag, nil
+}
+
+// RepairStream consumes a record stream and emits repaired records to sink
+// in input order. With one worker it holds a single repairer over the
+// caller's stream (byte-identical to core.Repairer.RepairStream); with more
+// it repairs chunks of ChunkSize across per-(chunk, shard) split streams,
+// holding at most one chunk in memory. The sink always runs serially, in
+// order, from the calling goroutine.
+func (e *Engine) RepairStream(r *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, core.Diagnostics, error) {
+	var diag core.Diagnostics
+	if r == nil {
+		return 0, diag, errors.New("repairsvc: nil rng")
+	}
+	if in == nil {
+		return 0, diag, errors.New("repairsvc: nil stream")
+	}
+	if in.Dim() != e.plan.Dim {
+		return 0, diag, fmt.Errorf("repairsvc: stream dimension %d does not match plan %d", in.Dim(), e.plan.Dim)
+	}
+	if e.opts.Workers <= 1 {
+		rp, err := core.NewRepairerShared(e.sampler, r, e.opts.Repair)
+		if err != nil {
+			return 0, diag, err
+		}
+		n, err := rp.RepairStream(in, sink)
+		diag = rp.Diagnostics()
+		e.account(n, diag)
+		return n, diag, err
+	}
+	return e.repairStreamChunked(r, in, sink)
+}
+
+// repairStreamChunked is the parallel streaming body; emitted traffic is
+// accounted on every exit path, matching the serial mode.
+func (e *Engine) repairStreamChunked(r *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (total int, diag core.Diagnostics, err error) {
+	defer func() { e.account(total, diag) }()
+	workers := e.opts.Workers
+	chunk := make([]dataset.Record, 0, e.opts.ChunkSize)
+	repaired := make([]dataset.Record, e.opts.ChunkSize)
+	chunkIdx := uint64(0)
+	for {
+		chunk = chunk[:0]
+		var streamErr error
+		for len(chunk) < e.opts.ChunkSize {
+			rec, err := in.Next()
+			if err == io.EOF {
+				streamErr = io.EOF
+				break
+			}
+			if err != nil {
+				return total, diag, err
+			}
+			chunk = append(chunk, rec)
+		}
+		if len(chunk) > 0 {
+			d, err := e.repairChunk(r, chunkIdx, workers, chunk, repaired)
+			if err != nil {
+				return total, diag, err
+			}
+			diag.Repaired += d.Repaired
+			diag.Clamped += d.Clamped
+			diag.EmptyRowFallbacks += d.EmptyRowFallbacks
+			for i := range chunk {
+				if err := sink(repaired[i]); err != nil {
+					return total, diag, err
+				}
+				total++
+			}
+			chunkIdx++
+		}
+		if streamErr == io.EOF {
+			return total, diag, nil
+		}
+	}
+}
+
+// repairChunk repairs chunk records into out[:len(chunk)] across workers
+// contiguous shards with per-(chunk, shard) RNG streams.
+func (e *Engine) repairChunk(r *rng.RNG, chunkIdx uint64, workers int, chunk, out []dataset.Record) (core.Diagnostics, error) {
+	var diag core.Diagnostics
+	n := len(chunk)
+	if workers > n {
+		workers = n
+	}
+	diags := make([]core.Diagnostics, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rp, err := core.NewRepairerShared(e.sampler, r.Split(chunkIdx*uint64(e.opts.Workers)+uint64(w)), e.opts.Repair)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				rec, err := rp.RepairRecord(chunk[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = rec
+			}
+			diags[w] = rp.Diagnostics()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return diag, err
+		}
+	}
+	for _, d := range diags {
+		diag.Repaired += d.Repaired
+		diag.Clamped += d.Clamped
+		diag.EmptyRowFallbacks += d.EmptyRowFallbacks
+	}
+	return diag, nil
+}

@@ -1,0 +1,669 @@
+package repairsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/fairmetrics"
+	"otfair/internal/kde"
+	"otfair/internal/monitor"
+	"otfair/internal/planstore"
+	"otfair/internal/rng"
+)
+
+// ServerOptions configures the HTTP front end.
+type ServerOptions struct {
+	// Workers is the default repair fan-out for requests that do not set
+	// ?workers= (0 = GOMAXPROCS).
+	Workers int
+	// MetricWindow is the per-plan rolling window (records) the /v1/metrics
+	// E estimates are computed on (default 2048).
+	MetricWindow int
+	// Metric configures the E estimator used by /v1/metrics.
+	Metric fairmetrics.Config
+	// Monitor configures the per-plan drift monitor fed by repair traffic.
+	Monitor monitor.Options
+	// MaxAlarms bounds the recent-alarm ring kept per plan (default 32).
+	MaxAlarms int
+	// MaxBodyBytes caps request bodies (default 1 GiB, -1 = unlimited).
+	// The repair spool and the design/upload readers honour it, so one
+	// request cannot fill the disk or RAM.
+	MaxBodyBytes int64
+	// MaxBoundPlans bounds the per-plan serving states held in memory
+	// (default 64). Each bound plan pins its engine's alias tables and two
+	// metric windows; touching more distinct plans than this evicts the
+	// least-recently-used state (its cumulative counters, windows and
+	// recent alarms reset if the plan is bound again — the durable tier is
+	// the store, not the serving state).
+	MaxBoundPlans int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MetricWindow <= 0 {
+		o.MetricWindow = 2048
+	}
+	if o.MaxAlarms <= 0 {
+		o.MaxAlarms = 32
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 1 << 30
+	}
+	if o.MaxBoundPlans <= 0 {
+		o.MaxBoundPlans = 64
+	}
+	return o
+}
+
+// limitBody applies the configured request-body cap; exceeding it makes
+// reads fail with *http.MaxBytesError, reported as 413.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.opts.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+}
+
+// errStatus maps an error to its HTTP status: body-cap overruns are 413,
+// store misses 404, malformed plan IDs 400, anything else 500.
+func errStatus(err error) int {
+	return errStatusOr(err, http.StatusInternalServerError)
+}
+
+// errStatusOr is errStatus with a caller-chosen fallback for errors the
+// mapping does not recognize.
+func errStatusOr(err error, fallback int) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, planstore.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, planstore.ErrBadID):
+		return http.StatusBadRequest
+	default:
+		return fallback
+	}
+}
+
+// Server exposes plan design, storage, repair and metrics over HTTP:
+//
+//	POST /v1/plans        design (text/csv research body) or upload (JSON)
+//	GET  /v1/plans        list stored plan fingerprints
+//	GET  /v1/plans/{id}   download one plan (canonical JSON)
+//	POST /v1/repair       repair a CSV or NDJSON record stream
+//	GET  /v1/metrics      serving counters, drift and E per plan
+//	GET  /healthz         liveness
+//
+// It is an http.Handler; wrap it in an http.Server for timeouts and
+// graceful shutdown (cmd/fairserved does).
+type Server struct {
+	store *planstore.Store
+	opts  ServerOptions
+	mux   *http.ServeMux
+
+	mu     sync.Mutex
+	states map[string]*planState
+	clock  uint64 // monotone LRU clock for states, guarded by mu
+}
+
+// planState is the per-plan serving state: the bound engine plus the
+// observability side (drift monitor and rolling metric windows, both fed
+// serially from the repair sink path under mu).
+type planState struct {
+	engine *Engine
+	// lastUsed is the Server.clock value of the most recent touch,
+	// guarded by Server.mu.
+	lastUsed uint64
+
+	mu          sync.Mutex
+	mon         *monitor.Monitor
+	alarms      []monitor.Alarm // ring of the most recent MaxAlarms
+	alarmsTotal int64
+	original    *recordWindow
+	repaired    *recordWindow
+}
+
+// recordWindow is a fixed-capacity ring of labelled records.
+type recordWindow struct {
+	dim  int
+	buf  []dataset.Record
+	next int
+	full bool
+}
+
+func newRecordWindow(dim, capacity int) *recordWindow {
+	return &recordWindow{dim: dim, buf: make([]dataset.Record, capacity)}
+}
+
+func (w *recordWindow) add(rec dataset.Record) {
+	if rec.S == dataset.SUnknown {
+		return
+	}
+	w.buf[w.next] = rec
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// table materializes the window (nil when empty).
+func (w *recordWindow) table() *dataset.Table {
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	if n == 0 {
+		return nil
+	}
+	t, err := dataset.NewTable(w.dim, nil)
+	if err != nil {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if t.Append(w.buf[i]) != nil {
+			return nil
+		}
+	}
+	return t
+}
+
+// NewServer builds the HTTP layer over a plan store.
+func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
+	if store == nil {
+		return nil, errors.New("repairsvc: nil store")
+	}
+	s := &Server{
+		store:  store,
+		opts:   opts.withDefaults(),
+		mux:    http.NewServeMux(),
+		states: make(map[string]*planState),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/plans", s.handlePlansPost)
+	s.mux.HandleFunc("GET /v1/plans", s.handlePlansList)
+	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
+	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// state returns (building if needed) the serving state for a stored plan.
+func (s *Server) state(id string) (*planState, error) {
+	s.mu.Lock()
+	if ps, ok := s.states[id]; ok {
+		s.clock++
+		ps.lastUsed = s.clock
+		s.mu.Unlock()
+		return ps, nil
+	}
+	s.mu.Unlock()
+	// Resolve and bind outside the map lock: sampler construction is the
+	// expensive part and two racing requests at worst build it twice, with
+	// one winner.
+	plan, err := s.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := NewEngine(plan, Options{Workers: s.opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(plan, s.opts.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	ps := &planState{
+		engine:   engine,
+		mon:      mon,
+		original: newRecordWindow(plan.Dim, s.opts.MetricWindow),
+		repaired: newRecordWindow(plan.Dim, s.opts.MetricWindow),
+	}
+	s.mu.Lock()
+	if prior, ok := s.states[id]; ok {
+		ps = prior
+	} else {
+		s.states[id] = ps
+		// Bound the serving tier: evict the least-recently-used states so
+		// memory scales with the hot set, not with every plan ever touched.
+		// The store below remains the durable tier.
+		for len(s.states) > s.opts.MaxBoundPlans {
+			var coldID string
+			var coldUsed uint64
+			first := true
+			for sid, st := range s.states {
+				if sid != id && (first || st.lastUsed < coldUsed) {
+					coldID, coldUsed, first = sid, st.lastUsed, false
+				}
+			}
+			if first {
+				break
+			}
+			delete(s.states, coldID)
+		}
+	}
+	s.clock++
+	ps.lastUsed = s.clock
+	s.mu.Unlock()
+	return ps, nil
+}
+
+// mediaType extracts the request's media type, dropping parameters like
+// charset (many clients default to "type; charset=utf-8").
+func mediaType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		return mt
+	}
+	return ct
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	bound := len(s.states)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "bound_plans": bound})
+}
+
+// designOptionsFromQuery assembles core design options from request query
+// parameters (nq, t, amount, solver, kernel, bandwidth, target, barycenter,
+// epsilon), leaving absent ones at their library defaults.
+func designOptionsFromQuery(r *http.Request) (core.Options, error) {
+	var opts core.Options
+	q := r.URL.Query()
+	var err error
+	if v := q.Get("nq"); v != "" {
+		if opts.NQ, err = strconv.Atoi(v); err != nil {
+			return opts, fmt.Errorf("bad nq %q", v)
+		}
+	}
+	if v := q.Get("t"); v != "" {
+		if opts.T, err = strconv.ParseFloat(v, 64); err != nil {
+			return opts, fmt.Errorf("bad t %q", v)
+		}
+	}
+	if v := q.Get("amount"); v != "" {
+		if opts.Amount, err = strconv.ParseFloat(v, 64); err != nil {
+			return opts, fmt.Errorf("bad amount %q", v)
+		}
+		opts.AmountSet = true
+	}
+	if v := q.Get("epsilon"); v != "" {
+		if opts.SinkhornEpsilon, err = strconv.ParseFloat(v, 64); err != nil {
+			return opts, fmt.Errorf("bad epsilon %q", v)
+		}
+	}
+	if opts.Solver, err = core.ParseSolver(q.Get("solver")); err != nil {
+		return opts, err
+	}
+	if opts.Target, err = core.ParseTarget(q.Get("target")); err != nil {
+		return opts, err
+	}
+	if opts.Barycenter, err = core.ParseBarycenter(q.Get("barycenter")); err != nil {
+		return opts, err
+	}
+	if opts.Kernel, err = kde.ParseKernel(q.Get("kernel")); err != nil {
+		return opts, err
+	}
+	if opts.Bandwidth, err = kde.ParseBandwidth(q.Get("bandwidth")); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}
+
+// handlePlansPost designs a plan from a research CSV body (Content-Type
+// text/csv) or registers an uploaded serialized plan (application/json).
+// Either way the plan lands in the store and the response carries its
+// content fingerprint.
+func (s *Server) handlePlansPost(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	var (
+		plan *core.Plan
+		err  error
+	)
+	switch ct := mediaType(r); {
+	case ct == "application/json":
+		plan, err = core.ReadPlan(r.Body)
+		if err != nil {
+			httpError(w, errStatusOr(err, http.StatusBadRequest), "invalid plan upload: %v", err)
+			return
+		}
+	case ct == "text/csv" || ct == "":
+		research, rerr := dataset.ReadCSV(r.Body)
+		if rerr != nil {
+			httpError(w, errStatusOr(rerr, http.StatusBadRequest), "invalid research csv: %v", rerr)
+			return
+		}
+		opts, oerr := designOptionsFromQuery(r)
+		if oerr != nil {
+			httpError(w, http.StatusBadRequest, "%v", oerr)
+			return
+		}
+		plan, err = core.Design(research, opts)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "design failed: %v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "send research data as text/csv or a plan as application/json, got %q", ct)
+		return
+	}
+	id, created, err := s.store.Put(plan)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "storing plan: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id,
+		"dim":     plan.Dim,
+		"names":   plan.Names,
+		"nq":      plan.Opts.NQ,
+		"solver":  plan.Opts.Solver.String(),
+		"existed": !created,
+	})
+}
+
+func (s *Server) handlePlansList(w http.ResponseWriter, r *http.Request) {
+	ids, err := s.store.IDs()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"plans": ids})
+}
+
+func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	plan, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, errStatus(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := plan.WriteJSON(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// handleRepair streams records through the plan's engine: CSV or NDJSON in,
+// the same format out. Query parameters:
+//
+//	plan     required plan fingerprint
+//	seed     RNG seed (default 1); with workers=1 the output is
+//	         byte-identical to the in-process Repairer at the same seed
+//	workers  shard fan-out (default: server-wide setting)
+//	format   csv (default) or ndjson, for both directions
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	q := r.URL.Query()
+	id := q.Get("plan")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing plan parameter")
+		return
+	}
+	ps, err := s.state(id)
+	if err != nil {
+		httpError(w, errStatus(err), "%v", err)
+		return
+	}
+	seed := uint64(1)
+	if v := q.Get("seed"); v != "" {
+		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+	}
+	engine := ps.engine
+	if v := q.Get("workers"); v != "" {
+		workers, werr := strconv.Atoi(v)
+		if werr != nil || workers < 1 {
+			httpError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		engine = ps.engine.withWorkers(workers)
+	}
+
+	format := q.Get("format")
+	if format == "" {
+		if mediaType(r) == "application/x-ndjson" {
+			format = "ndjson"
+		} else {
+			format = "csv"
+		}
+	}
+
+	// Spool the request body before writing any response byte. Go's
+	// HTTP/1.1 server tears down the request body on the first response
+	// write, and half-duplex clients (curl) deadlock on true bidirectional
+	// streams anyway; a disk spool keeps memory O(1) in records while the
+	// response still streams out as repair progresses.
+	spool, err := os.CreateTemp("", "fairserved-repair-*")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "spooling request: %v", err)
+		return
+	}
+	defer func() {
+		spool.Close()
+		os.Remove(spool.Name())
+	}()
+	if _, err := io.Copy(spool, r.Body); err != nil {
+		httpError(w, errStatusOr(err, http.StatusBadRequest), "reading request: %v", err)
+		return
+	}
+	if _, err := spool.Seek(0, io.SeekStart); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	// Track whether any response byte has left: after that, errors must
+	// truncate the stream (at a record boundary — the codec writers buffer
+	// whole rows), never append a JSON error into a CSV/NDJSON body.
+	tw := &trackedResponse{ResponseWriter: w}
+	var (
+		in      dataset.Stream
+		sink    func(dataset.Record) error
+		finish  func() error
+		openErr error
+	)
+	switch format {
+	case "csv":
+		in, sink, finish, openErr = s.csvPipe(tw, spool, ps.engine.Plan())
+	case "ndjson":
+		in, sink, finish, openErr = s.ndjsonPipe(tw, spool, ps.engine.Plan())
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q", format)
+		return
+	}
+	if openErr != nil {
+		httpError(w, http.StatusBadRequest, "%v", openErr)
+		return
+	}
+
+	// Wrap the sink to feed the observability state. The engine calls the
+	// sink serially from this goroutine, so one lock acquisition per record
+	// is uncontended in the common single-request case.
+	observed := in
+	tap := func(orig dataset.Record) {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		ps.original.add(orig)
+		alarms, _ := ps.mon.Observe(orig)
+		if len(alarms) > 0 {
+			ps.alarmsTotal += int64(len(alarms))
+			ps.alarms = append(ps.alarms, alarms...)
+			if over := len(ps.alarms) - s.opts.MaxAlarms; over > 0 {
+				ps.alarms = append(ps.alarms[:0], ps.alarms[over:]...)
+			}
+		}
+	}
+	tapped := &tapStream{inner: observed, tap: tap}
+	repairedSink := func(rec dataset.Record) error {
+		ps.mu.Lock()
+		ps.repaired.add(rec)
+		ps.mu.Unlock()
+		return sink(rec)
+	}
+
+	n, diag, err := engine.RepairStream(rng.New(seed), tapped, repairedSink)
+	if engine != ps.engine {
+		// Per-request worker overrides run on a derived engine; fold their
+		// traffic into the plan's cumulative counters.
+		ps.engine.account(n, diag)
+	}
+	if err != nil {
+		if !tw.started {
+			// Nothing sent yet (e.g. dimension mismatch, bad first record):
+			// the client gets a clean JSON error.
+			httpError(w, http.StatusUnprocessableEntity, "repair failed after %d records: %v", n, err)
+			return
+		}
+		// Mid-stream: abort the connection so the client observes a failed
+		// transfer (no terminating chunk) instead of a complete-looking 200
+		// with silently missing records. ErrAbortHandler is net/http's
+		// sanctioned way to do exactly this.
+		panic(http.ErrAbortHandler)
+	}
+	if err := finish(); err != nil {
+		return
+	}
+}
+
+// trackedResponse records whether any header or byte has been written.
+type trackedResponse struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (t *trackedResponse) WriteHeader(code int) {
+	t.started = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackedResponse) Write(b []byte) (int, error) {
+	t.started = true
+	return t.ResponseWriter.Write(b)
+}
+
+// tapStream forwards Next while exposing each record to the observability
+// tap before repair. Records are validated here — the wire codecs parse
+// shape but not label ranges or feature finiteness — so a malformed record
+// fails the request loudly instead of repairing garbage, and the monitor
+// and metric windows only ever see valid records.
+type tapStream struct {
+	inner dataset.Stream
+	tap   func(dataset.Record)
+}
+
+func (t *tapStream) Next() (dataset.Record, error) {
+	rec, err := t.inner.Next()
+	if err != nil {
+		return rec, err
+	}
+	if err := rec.Validate(t.inner.Dim()); err != nil {
+		return dataset.Record{}, err
+	}
+	t.tap(rec)
+	return rec, nil
+}
+
+func (t *tapStream) Dim() int { return t.inner.Dim() }
+
+// handleMetrics reports one plan's serving state: engine counters, drift
+// monitor status with recent alarms, the E metric before/after on the
+// rolling windows, and the shared store/design-cache statistics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("plan")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing plan parameter")
+		return
+	}
+	ps, err := s.state(id)
+	if err != nil {
+		httpError(w, errStatus(err), "%v", err)
+		return
+	}
+	totals := ps.engine.Totals()
+
+	ps.mu.Lock()
+	snap := ps.mon.Snapshot()
+	recent := make([]string, len(ps.alarms))
+	for i, a := range ps.alarms {
+		recent[i] = a.String()
+	}
+	alarmsTotal := ps.alarmsTotal
+	origTable := ps.original.table()
+	repTable := ps.repaired.table()
+	ps.mu.Unlock()
+
+	metric := map[string]any{"window": s.opts.MetricWindow}
+	// E is undefined until every observed u-population carries both
+	// s-classes; report what is computable and say why otherwise.
+	if origTable != nil {
+		if e, err := fairmetrics.E(origTable, s.opts.Metric); err == nil {
+			metric["e_original"] = e
+		} else {
+			metric["e_original_error"] = err.Error()
+		}
+		metric["window_filled"] = origTable.Len()
+	} else {
+		metric["window_filled"] = 0
+	}
+	if repTable != nil {
+		if e, err := fairmetrics.E(repTable, s.opts.Metric); err == nil {
+			metric["e_repaired"] = e
+		} else {
+			metric["e_repaired_error"] = err.Error()
+		}
+	}
+
+	designHits, designMisses := core.DesignCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"plan": id,
+		"engine": map[string]any{
+			"records":             totals.Records,
+			"values":              totals.Values,
+			"clamped":             totals.Clamped,
+			"empty_row_fallbacks": totals.EmptyRowFallbacks,
+		},
+		"drift": map[string]any{
+			"seen":          snap.Seen,
+			"fired":         snap.Fired,
+			"watched_cells": snap.WatchedCells,
+			"full_windows":  snap.FullWindows,
+			"alarms_total":  alarmsTotal,
+			"recent":        recent,
+		},
+		"metric": metric,
+		"store":  s.store.Stats(),
+		"design_cache": map[string]uint64{
+			"hits":   designHits,
+			"misses": designMisses,
+		},
+	})
+}

@@ -1,0 +1,396 @@
+package repairsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/planstore"
+	"otfair/internal/rng"
+)
+
+// newTestServer boots a server over a fresh store and registers the plan.
+func newTestServer(t *testing.T, plan *core.Plan) (*httptest.Server, string) {
+	t.Helper()
+	store, err := planstore.Open(t.TempDir(), planstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := store.Put(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := NewServer(store, ServerOptions{MetricWindow: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv, id
+}
+
+func postCSV(t *testing.T, url string, tbl *dataset.Table) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeRepairByteIdentical is the serve-path equivalence test: POST
+// /v1/repair with workers=1 and a fixed seed produces byte-identical output
+// to the in-process Repairer.RepairTable at the same seed — design → store
+// → serve → repair equals design → repair.
+func TestServeRepairByteIdentical(t *testing.T) {
+	plan, _, archive := testData(t, 21, 300, 2000, 40)
+	srv, id := newTestServer(t, plan)
+
+	resp := postCSV(t, srv.URL+"/v1/repair?plan="+id+"&seed=17&workers=1", archive)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("repair: %s: %s", resp.Status, body)
+	}
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := core.NewRepairer(plan, rng.New(17), core.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rp.RepairTable(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := want.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, wantCSV.Bytes()) {
+		t.Fatalf("served bytes differ from in-process repair (%d vs %d bytes)", len(served), wantCSV.Len())
+	}
+}
+
+// TestServeRepairParallelDeterministic checks that a sharded serve repair
+// is reproducible across identical requests.
+func TestServeRepairParallelDeterministic(t *testing.T) {
+	plan, _, archive := testData(t, 22, 250, 1200, 30)
+	srv, id := newTestServer(t, plan)
+	url := srv.URL + "/v1/repair?plan=" + id + "&seed=5&workers=4"
+	read := func() []byte {
+		resp := postCSV(t, url, archive)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("repair: %s", resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := read(), read(); !bytes.Equal(a, b) {
+		t.Fatal("identical sharded requests returned different bytes")
+	}
+}
+
+func TestServeNDJSONRoundTrip(t *testing.T) {
+	plan, _, archive := testData(t, 23, 250, 400, 30)
+	srv, id := newTestServer(t, plan)
+
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for i := 0; i < archive.Len(); i++ {
+		rec := archive.At(i)
+		s := rec.S
+		if err := enc.Encode(wireRecord{X: rec.X, S: &s, U: rec.U}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/v1/repair?plan="+id+"&seed=1&workers=1&format=ndjson", "application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("repair: %s: %s", resp.Status, body)
+	}
+	out, err := dataset.NewTable(archive.Dim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var wr wireRecord
+		if err := dec.Decode(&wr); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		rec := dataset.Record{X: wr.X, U: wr.U, S: dataset.SUnknown}
+		if wr.S != nil {
+			rec.S = *wr.S
+		}
+		if err := out.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// NDJSON and CSV are transport encodings of the same repair: the
+	// repaired values must match the in-process reference exactly (floats
+	// survive JSON round-trips bit-exactly at default precision).
+	rp, err := core.NewRepairer(plan, rng.New(1), core.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rp.RepairTable(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, out, want)
+}
+
+func TestPlanLifecycleOverHTTP(t *testing.T) {
+	plan, research, _ := testData(t, 24, 300, 10, 30)
+	srv, id := newTestServer(t, plan)
+
+	// Upload the serialized plan: content addressing must dedupe.
+	raw, err := plan.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/plans", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID      string `json:"id"`
+		Existed bool   `json:"existed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if up.ID != id || !up.Existed {
+		t.Errorf("upload: id=%s existed=%v, want %s/true", up.ID, up.Existed, id)
+	}
+
+	// Designing over HTTP from the same research data and options also
+	// lands on the same fingerprint (Algorithm 1 is pure).
+	resp = postCSV(t, srv.URL+"/v1/plans?nq=30", research)
+	var designed struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&designed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if designed.ID != id {
+		t.Errorf("design-over-HTTP id %s != stored %s", designed.ID, id)
+	}
+
+	// Listing and download.
+	resp, err = http.Get(srv.URL + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Plans []string `json:"plans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Plans) != 1 || list.Plans[0] != id {
+		t.Errorf("plans = %v", list.Plans)
+	}
+	resp, err = http.Get(srv.URL + "/v1/plans/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downloaded, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(downloaded, raw) {
+		t.Error("downloaded plan differs from canonical bytes")
+	}
+
+	// Unknown and malformed plan IDs.
+	resp, err = http.Get(srv.URL + "/v1/plans/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown plan: %s, want 404", resp.Status)
+	}
+	resp, err = http.Post(srv.URL+"/v1/repair?plan=nope", "text/csv", strings.NewReader("s,u,x1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("malformed plan id accepted")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	plan, _, archive := testData(t, 25, 300, 1500, 40)
+	srv, id := newTestServer(t, plan)
+
+	resp := postCSV(t, srv.URL+"/v1/repair?plan="+id+"&seed=2&workers=1", archive)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/metrics?plan=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Engine struct {
+			Records int64 `json:"records"`
+			Values  int64 `json:"values"`
+		} `json:"engine"`
+		Drift struct {
+			Seen         int64 `json:"seen"`
+			WatchedCells int   `json:"watched_cells"`
+		} `json:"drift"`
+		Metric struct {
+			EOriginal    *float64 `json:"e_original"`
+			ERepaired    *float64 `json:"e_repaired"`
+			WindowFilled int      `json:"window_filled"`
+		} `json:"metric"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine.Records != int64(archive.Len()) {
+		t.Errorf("records = %d, want %d", m.Engine.Records, archive.Len())
+	}
+	if m.Engine.Values != int64(archive.Len()*archive.Dim()) {
+		t.Errorf("values = %d, want %d", m.Engine.Values, archive.Len()*archive.Dim())
+	}
+	if m.Drift.Seen != int64(archive.Len()) || m.Drift.WatchedCells == 0 {
+		t.Errorf("drift seen=%d cells=%d", m.Drift.Seen, m.Drift.WatchedCells)
+	}
+	if m.Metric.EOriginal == nil || m.Metric.ERepaired == nil {
+		t.Fatal("metrics endpoint reported no E values")
+	}
+	if !(*m.Metric.ERepaired < *m.Metric.EOriginal) {
+		t.Errorf("E did not improve: %v -> %v", *m.Metric.EOriginal, *m.Metric.ERepaired)
+	}
+	if m.Metric.WindowFilled != archive.Len() {
+		t.Errorf("window filled = %d, want %d", m.Metric.WindowFilled, archive.Len())
+	}
+
+	// Healthz while at it.
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %s", resp2.Status)
+	}
+}
+
+// TestServerConcurrentTraffic mixes repair, metrics and list requests from
+// many goroutines; under -race this certifies the serving layer.
+func TestServerConcurrentTraffic(t *testing.T) {
+	plan, _, archive := testData(t, 26, 250, 600, 30)
+	srv, id := newTestServer(t, plan)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp := postCSV(t, fmt.Sprintf("%s/v1/repair?plan=%s&seed=%d&workers=2", srv.URL, id, g+1), archive)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("repair: %s", resp.Status)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mresp, err := http.Get(srv.URL + "/v1/metrics?plan=" + id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, mresp.Body)
+				mresp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBoundPlanStateEviction checks that the serving tier's per-plan state
+// is LRU-bounded: touching more plans than MaxBoundPlans evicts the
+// coldest, while the store keeps serving every plan.
+func TestBoundPlanStateEviction(t *testing.T) {
+	store, err := planstore.Open(t.TempDir(), planstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for seed := uint64(40); seed < 44; seed++ {
+		plan, _, _ := testData(t, seed, 200, 10, 12)
+		id, _, err := store.Put(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	handler, err := NewServer(store, ServerOptions{MaxBoundPlans: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	for _, id := range ids {
+		resp, err := http.Get(srv.URL + "/v1/metrics?plan=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics %s: %s", id, resp.Status)
+		}
+	}
+	handler.mu.Lock()
+	bound := len(handler.states)
+	handler.mu.Unlock()
+	if bound != 2 {
+		t.Errorf("bound states = %d, want 2", bound)
+	}
+	// Evicted plans rebind transparently on the next touch.
+	resp, err := http.Get(srv.URL + "/v1/metrics?plan=" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("rebind after eviction: %s", resp.Status)
+	}
+}

@@ -35,6 +35,13 @@ func NewAlias(w []float64) *Alias {
 		prob:  make([]float64, n),
 		alias: make([]int, n),
 	}
+	if n == 1 {
+		// Degenerate table: exact monotone plan rows are 1–2 atoms, so the
+		// eager per-plan sampler builds thousands of these; skip the
+		// worklist machinery.
+		a.prob[0] = 1
+		return a
+	}
 	// Scaled probabilities: mean 1.
 	scaled := make([]float64, n)
 	for i, wi := range w {

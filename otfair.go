@@ -40,6 +40,8 @@ import (
 	"otfair/internal/kde"
 	"otfair/internal/mixture"
 	"otfair/internal/monitor"
+	"otfair/internal/planstore"
+	"otfair/internal/repairsvc"
 	"otfair/internal/rng"
 )
 
@@ -371,6 +373,66 @@ func RepairDispersion(before, after *Table, bins int) (float64, error) {
 // independent redraws.
 func Comonotonicity(before, after *Table) (float64, error) {
 	return fairmetrics.Comonotonicity(before, after)
+}
+
+// Serving: the repair-as-a-service layer behind cmd/fairserved. A designed
+// plan is persisted once in a content-addressed PlanStore and then applied
+// to archival torrents by a BatchRepairer — alias draw tables precomputed
+// per plan row, records sharded across workers on deterministic per-shard
+// RNG streams. With one worker the batch output is byte-identical to the
+// plain Repairer at the same seed, so embedded and served repair are
+// interchangeable.
+type (
+	// PlanSampler is a plan's precomputed draw state (one alias table per
+	// (u, s, feature, support row)), shareable across repairers and
+	// goroutines.
+	PlanSampler = core.PlanSampler
+	// PlanStore is a disk-backed plan registry keyed by content
+	// fingerprint, with an in-memory LRU.
+	PlanStore = planstore.Store
+	// PlanStoreOptions configures the store.
+	PlanStoreOptions = planstore.Options
+	// PlanStoreStats are the store's cumulative traffic counters.
+	PlanStoreStats = planstore.Stats
+	// BatchRepairer is the sharded batch/streaming engine of Algorithm 2.
+	BatchRepairer = repairsvc.Engine
+	// BatchOptions configures a BatchRepairer.
+	BatchOptions = repairsvc.Options
+	// BatchTotals are an engine's cumulative serving counters.
+	BatchTotals = repairsvc.Totals
+	// RepairServer is the HTTP front end (plans, repair, metrics, health).
+	RepairServer = repairsvc.Server
+	// RepairServerOptions configures the HTTP front end.
+	RepairServerOptions = repairsvc.ServerOptions
+	// MonitorSummary is a point-in-time drift-monitor view.
+	MonitorSummary = monitor.Summary
+)
+
+// NewPlanSampler precomputes a plan's alias draw tables for sharing across
+// repairers (NewRepairerShared) and batch engines.
+func NewPlanSampler(plan *Plan) (*PlanSampler, error) {
+	return core.NewPlanSampler(plan)
+}
+
+// NewRepairerShared binds a precomputed sampler to a randomness source;
+// byte-identical to NewRepairer for the same RNG.
+func NewRepairerShared(sampler *PlanSampler, r *RNG, opts RepairOptions) (*Repairer, error) {
+	return core.NewRepairerShared(sampler, r, opts)
+}
+
+// OpenPlanStore opens (creating if needed) a disk-backed plan store.
+func OpenPlanStore(dir string, opts PlanStoreOptions) (*PlanStore, error) {
+	return planstore.Open(dir, opts)
+}
+
+// NewBatchRepairer binds a plan to a batched, sharded repair engine.
+func NewBatchRepairer(plan *Plan, opts BatchOptions) (*BatchRepairer, error) {
+	return repairsvc.NewEngine(plan, opts)
+}
+
+// NewRepairServer builds the fairserved HTTP handler over a plan store.
+func NewRepairServer(store *PlanStore, opts RepairServerOptions) (*RepairServer, error) {
+	return repairsvc.NewServer(store, opts)
 }
 
 // Deployment monitoring: the stationarity guard for archival torrents

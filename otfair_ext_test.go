@@ -257,3 +257,101 @@ func TestPublicAPIDriftAlarmShape(t *testing.T) {
 		t.Error("NaN alarm statistic")
 	}
 }
+
+func TestPublicAPIServingLayer(t *testing.T) {
+	research, archive := buildData(t, 61, 400, 2500)
+	plan, err := otfair.Design(research, otfair.DesignOptions{NQ: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store round trip: put by content fingerprint, reload, stats.
+	store, err := otfair.OpenPlanStore(t.TempDir(), otfair.PlanStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := store.Put(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared sampler: NewRepairerShared is byte-identical to NewRepairer.
+	sampler, err := otfair.NewPlanSampler(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := otfair.NewRepairerShared(sampler, otfair.NewRNG(9), otfair.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := otfair.NewRepairer(plan, otfair.NewRNG(9), otfair.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := shared.RepairTable(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.RepairTable(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		for k := range a.At(i).X {
+			if a.At(i).X[k] != b.At(i).X[k] {
+				t.Fatalf("record %d feature %d: shared %v != plain %v", i, k, a.At(i).X[k], b.At(i).X[k])
+			}
+		}
+	}
+
+	// Batch engine: single worker matches, totals accumulate.
+	engine, err := otfair.NewBatchRepairer(loaded, otfair.BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := engine.RepairTable(otfair.NewRNG(9), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Len(); i++ {
+		for k := range c.At(i).X {
+			if c.At(i).X[k] != b.At(i).X[k] {
+				t.Fatalf("record %d feature %d: batch %v != plain %v", i, k, c.At(i).X[k], b.At(i).X[k])
+			}
+		}
+	}
+	if engine.Totals().Records != int64(archive.Len()) {
+		t.Errorf("totals = %+v", engine.Totals())
+	}
+	if st := store.Stats(); st.Puts != 1 || st.MemHits != 1 {
+		t.Errorf("store stats = %+v", st)
+	}
+}
+
+func TestPublicAPIMonitorSummary(t *testing.T) {
+	research, archive := buildData(t, 62, 300, 600)
+	plan, err := otfair.Design(research, otfair.DesignOptions{NQ: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := otfair.NewMonitor(plan, otfair.MonitorOptions{Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < archive.Len(); i++ {
+		if _, err := m.Observe(archive.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap otfair.MonitorSummary = m.Snapshot()
+	if snap.Seen != int64(archive.Len()) {
+		t.Errorf("seen = %d, want %d", snap.Seen, archive.Len())
+	}
+	if snap.WatchedCells == 0 || snap.FullWindows == 0 {
+		t.Errorf("snapshot = %+v, want watched and full cells", snap)
+	}
+}
