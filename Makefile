@@ -11,8 +11,9 @@ BENCH_N ?= 1
 # uses a fixed experiment seed so runs are comparable across machines.
 ARTEFACTS = BenchmarkTable1$$|BenchmarkFigure3$$|BenchmarkFigure4$$|BenchmarkTable2$$
 # Serving-layer throughput (records/sec): alias-table engine, its
-# categorical-draw baseline, and the fairserved HTTP round trip.
-THROUGHPUT = BenchmarkRepairThroughput|BenchmarkServeRepairHTTP$$
+# categorical-draw baseline, the fairserved HTTP round trip, and the
+# calibrated blind (s-unlabelled) engine.
+THROUGHPUT = BenchmarkRepairThroughput|BenchmarkServeRepairHTTP$$|BenchmarkBlindRepairThroughput
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
@@ -34,7 +35,8 @@ verify: vet build test
 # parallel repair, metric fan-out, plan store, serving layer).
 race:
 	$(GO) test -race ./internal/ot/ ./internal/core/ ./internal/vec/ \
-		./internal/fairmetrics/ ./internal/planstore/ ./internal/repairsvc/
+		./internal/fairmetrics/ ./internal/planstore/ ./internal/repairsvc/ \
+		./internal/blindsvc/
 
 # Boot fairserved against synthetic data, repair through the full HTTP
 # round trip, and check byte-equivalence with the library path plus the E

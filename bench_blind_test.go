@@ -1,0 +1,58 @@
+package otfair_test
+
+// Throughput benchmarks for the blind serving layer: posterior-mixed
+// repair of s-unlabelled archives through the calibrated batch engine, in
+// the same records/sec terms as the labelled serving benches so
+// BENCH_*.json tracks both serving modes side by side. The blind path adds
+// one QDA posterior evaluation (a d-dimensional forward substitution) per
+// record on top of the labelled path's draws, plus the label Bernoulli for
+// the draw method.
+
+import (
+	"testing"
+
+	"otfair"
+)
+
+func benchBlindRepair(b *testing.B, method otfair.BlindMethod, opts otfair.BlindBatchOptions) {
+	research, archive := benchSimData(b, 500, 20000)
+	plan, err := otfair.Design(research, otfair.DesignOptions{NQ: 100, Solver: otfair.SolverSinkhorn})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := otfair.NewCalibration(plan, research)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := otfair.NewBlindBatchRepairer(plan, cal, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unlabelled := archive.DropS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := engine.RepairTable(otfair.NewRNG(uint64(i)+1), method, unlabelled); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(unlabelled.Len())*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// BenchmarkBlindRepairThroughputDraw is the blind serving configuration:
+// posterior-mixed draws, parallel shards.
+func BenchmarkBlindRepairThroughputDraw(b *testing.B) {
+	benchBlindRepair(b, otfair.BlindDraw, otfair.BlindBatchOptions{})
+}
+
+// BenchmarkBlindRepairThroughputDrawSerial isolates the per-record blind
+// cost (posterior + label draw + repair draws) from the shard fan-out.
+func BenchmarkBlindRepairThroughputDrawSerial(b *testing.B) {
+	benchBlindRepair(b, otfair.BlindDraw, otfair.BlindBatchOptions{Workers: 1})
+}
+
+// BenchmarkBlindRepairThroughputPooledSerial measures the group-blind
+// pooled transport, which needs no posterior at all — the per-record cost
+// floor of the blind path.
+func BenchmarkBlindRepairThroughputPooledSerial(b *testing.B) {
+	benchBlindRepair(b, otfair.BlindPooled, otfair.BlindBatchOptions{Workers: 1})
+}

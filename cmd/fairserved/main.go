@@ -14,7 +14,12 @@
 //	# repair an archival torrent with it
 //	curl -s -X POST --data-binary @archive.csv \
 //	    'localhost:8080/v1/repair?plan=<id>&seed=1' > repaired.csv
-//	# watch fairness + drift
+//	# fit a blind calibration, then repair a torrent with no s labels
+//	curl -s -X POST --data-binary @research.csv -H 'Content-Type: text/csv' \
+//	    'localhost:8080/v1/calibrations?plan=<id>'
+//	curl -s -X POST --data-binary @unlabelled.csv \
+//	    'localhost:8080/v1/repair?calibration=<calid>&method=draw&seed=1'
+//	# watch fairness + drift (incl. per-calibration posterior telemetry)
 //	curl -s 'localhost:8080/v1/metrics?plan=<id>'
 //
 // With workers=1 the repaired bytes are identical to what the in-process
@@ -46,10 +51,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	storeDir := flag.String("store", "plans", "plan store directory")
+	storeDir := flag.String("store", "plans", "artefact store directory (plans at the root, calibrations under calibrations/)")
 	workers := flag.Int("workers", 0, "default repair fan-out (0 = GOMAXPROCS)")
 	window := flag.Int("window", 2048, "rolling metric window (records per plan)")
-	cache := flag.Int("cache", 64, "in-memory plan cache size")
+	cache := flag.Int("cache", 64, "in-memory artefact cache size (plans and calibrations each)")
+	prewarm := flag.Bool("prewarm", false, "load stored plans and calibrations into the memory tier at boot (up to -cache entries each)")
+	prune := flag.Duration("prune", 0, "delete stored artefacts older than this age at boot (0 = keep everything)")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	flag.Parse()
 
@@ -66,11 +73,43 @@ func main() {
 		log.Fatalf("fairserved: %v", err)
 	}
 	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{
-		Workers:      *workers,
-		MetricWindow: *window,
+		Workers:              *workers,
+		MetricWindow:         *window,
+		CalibrationCacheSize: *cache,
 	})
 	if err != nil {
 		log.Fatalf("fairserved: %v", err)
+	}
+	if *prune > 0 {
+		removed, err := store.Prune(*prune)
+		if err != nil {
+			log.Fatalf("fairserved: pruning plans: %v", err)
+		}
+		calsRemoved, err := handler.Calibrations().Prune(*prune)
+		if err != nil {
+			log.Fatalf("fairserved: pruning calibrations: %v", err)
+		}
+		// Design warm-start links (cmd/repro -store against this same
+		// directory) age out with the plans they point at.
+		ix, err := planstore.NewDesignIndex(store)
+		if err != nil {
+			log.Fatalf("fairserved: %v", err)
+		}
+		linksRemoved, err := ix.Prune(*prune)
+		if err != nil {
+			log.Fatalf("fairserved: pruning design links: %v", err)
+		}
+		log.Printf("fairserved: pruned %d plans, %d calibrations, %d design links older than %s", removed, calsRemoved, linksRemoved, *prune)
+	}
+	if *prewarm {
+		plans, cals, skipped, err := handler.Prewarm()
+		if err != nil {
+			log.Fatalf("fairserved: prewarm: %v", err)
+		}
+		if skipped > 0 {
+			log.Printf("fairserved: prewarm skipped %d unreadable artefacts", skipped)
+		}
+		log.Printf("fairserved: prewarmed %d plans, %d calibrations", plans, cals)
 	}
 	srv := &http.Server{
 		Addr:              *addr,

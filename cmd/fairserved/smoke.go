@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 
+	"otfair/internal/blind"
 	"otfair/internal/core"
 	"otfair/internal/dataset"
 	"otfair/internal/fairmetrics"
@@ -149,6 +150,160 @@ func runSmoke() error {
 		return fmt.Errorf("metrics records = %d, want %d", metrics.Engine.Records, archive.Len())
 	}
 	fmt.Printf("metrics endpoint: %d records served\n", metrics.Engine.Records)
+
+	return blindSmoke(srv, store, designed.ID, research, archive)
+}
+
+// blindSmoke is the s-unlabelled leg of the smoke test: fit a calibration
+// over HTTP from the research CSV, blind-repair the archive with its s
+// labels stripped through an NDJSON round trip, verify byte-equivalence
+// with the in-process blind repairer at the same seed, and check the blind
+// telemetry reaches /v1/metrics.
+func blindSmoke(srv *httptest.Server, store *planstore.Store, planID string, research, archive *dataset.Table) error {
+	// Fit the calibration over HTTP.
+	var researchCSV bytes.Buffer
+	if err := research.WriteCSV(&researchCSV); err != nil {
+		return err
+	}
+	resp, err := http.Post(srv.URL+"/v1/calibrations?plan="+planID, "text/csv", &researchCSV)
+	if err != nil {
+		return err
+	}
+	var fitted struct {
+		ID                 string  `json:"id"`
+		Plan               string  `json:"plan"`
+		ResearchConfidence float64 `json:"research_confidence"`
+	}
+	if err := decodeJSON(resp, &fitted); err != nil {
+		return fmt.Errorf("calibration fit: %w", err)
+	}
+	if fitted.Plan != planID {
+		return fmt.Errorf("calibration bound to plan %s, want %s", fitted.Plan, planID)
+	}
+	fmt.Printf("fitted calibration %s (research confidence %.3f)\n", fitted.ID, fitted.ResearchConfidence)
+
+	// Blind-repair the unlabelled archive over NDJSON, single worker for
+	// byte-equivalence.
+	unlabelled := archive.DropS()
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	type wire struct {
+		X []float64 `json:"x"`
+		S *int      `json:"s,omitempty"`
+		U int       `json:"u"`
+	}
+	for i := 0; i < unlabelled.Len(); i++ {
+		rec := unlabelled.At(i)
+		if err := enc.Encode(wire{X: rec.X, U: rec.U}); err != nil {
+			return err
+		}
+	}
+	resp, err = http.Post(srv.URL+"/v1/repair?calibration="+fitted.ID+"&method=draw&seed=2&workers=1&format=ndjson",
+		"application/x-ndjson", &in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("blind repair: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	served, err := dataset.NewTable(unlabelled.Dim(), nil)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var wr wire
+		if err := dec.Decode(&wr); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		rec := dataset.Record{X: wr.X, U: wr.U, S: dataset.SUnknown}
+		if wr.S != nil {
+			rec.S = *wr.S
+		}
+		if err := served.Append(rec); err != nil {
+			return err
+		}
+	}
+
+	// In-process reference: same plan (reloaded from the store), same
+	// research fit, same seed and method.
+	plan, err := store.Get(planID)
+	if err != nil {
+		return err
+	}
+	brp, err := blind.New(plan, research, rng.New(2), blind.Options{Method: blind.MethodDraw})
+	if err != nil {
+		return err
+	}
+	reference, err := brp.RepairTable(unlabelled)
+	if err != nil {
+		return err
+	}
+	if served.Len() != reference.Len() {
+		return fmt.Errorf("blind serve path returned %d records, want %d", served.Len(), reference.Len())
+	}
+	for i := 0; i < served.Len(); i++ {
+		sr, rr := served.At(i), reference.At(i)
+		if sr.S != rr.S || sr.U != rr.U {
+			return fmt.Errorf("blind serve path record %d labels diverged", i)
+		}
+		for k := range sr.X {
+			if sr.X[k] != rr.X[k] {
+				return fmt.Errorf("blind serve path diverged at record %d feature %d: %v != %v", i, k, sr.X[k], rr.X[k])
+			}
+		}
+	}
+	fmt.Printf("blind serve path byte-identical to in-process blind repair (%d records)\n", served.Len())
+
+	// The blind repair must still quench most of the measured unfairness,
+	// judged against the ground-truth labels the server never saw.
+	relabelled := served.Clone()
+	for i := range relabelled.Records() {
+		relabelled.Records()[i].S = archive.At(i).S
+	}
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorPlugin}
+	before, err := fairmetrics.E(archive, cfg)
+	if err != nil {
+		return err
+	}
+	after, err := fairmetrics.E(relabelled, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("blind E metric (true labels): %.4f -> %.4f\n", before, after)
+	if !(after < before/2) {
+		return fmt.Errorf("blind repair too weak: E %.4f -> %.4f", before, after)
+	}
+
+	// Per-calibration telemetry present and consistent.
+	resp, err = http.Get(srv.URL + "/v1/metrics?plan=" + planID)
+	if err != nil {
+		return err
+	}
+	var metrics struct {
+		Blind map[string]struct {
+			Imputed        int64   `json:"imputed"`
+			MeanConfidence float64 `json:"mean_confidence"`
+		} `json:"blind"`
+	}
+	if err := decodeJSON(resp, &metrics); err != nil {
+		return fmt.Errorf("blind metrics: %w", err)
+	}
+	bm, ok := metrics.Blind[fitted.ID]
+	if !ok {
+		return fmt.Errorf("metrics carry no blind section for calibration %s", fitted.ID)
+	}
+	if bm.Imputed != int64(unlabelled.Len()) {
+		return fmt.Errorf("blind metrics imputed = %d, want %d", bm.Imputed, unlabelled.Len())
+	}
+	if !(bm.MeanConfidence > 0.5 && bm.MeanConfidence <= 1) {
+		return fmt.Errorf("blind mean confidence %v outside (0.5, 1]", bm.MeanConfidence)
+	}
+	fmt.Printf("blind metrics: %d records imputed at mean confidence %.3f\n", bm.Imputed, bm.MeanConfidence)
 	return nil
 }
 

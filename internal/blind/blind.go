@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"otfair/internal/core"
 	"otfair/internal/dataset"
@@ -108,6 +109,26 @@ type Stats struct {
 	// ConfidenceSum accumulates max(γ, 1−γ) over imputed records; divide
 	// by Imputed for the mean posterior confidence.
 	ConfidenceSum float64
+	// AmbiguityBins histograms the posterior ambiguity 1 − max(γ, 1−γ) of
+	// imputed records in ten uniform bins on [0, 0.5]: bin 0 holds records
+	// the posterior is nearly certain about, bin 9 records it finds
+	// maximally ambiguous. The serving layer exposes it per calibration.
+	AmbiguityBins [AmbiguityBinCount]int64
+}
+
+// AmbiguityBinCount is the resolution of Stats.AmbiguityBins.
+const AmbiguityBinCount = 10
+
+// Merge folds another counter set into s; the serving engine aggregates
+// per-shard stats with it.
+func (s *Stats) Merge(o Stats) {
+	s.Records += o.Records
+	s.LabelsUsed += o.LabelsUsed
+	s.Imputed += o.Imputed
+	s.ConfidenceSum += o.ConfidenceSum
+	for i := range s.AmbiguityBins {
+		s.AmbiguityBins[i] += o.AmbiguityBins[i]
+	}
 }
 
 // MeanConfidence is the average MAP-posterior confidence over imputed
@@ -174,6 +195,66 @@ func New(plan *core.Plan, research *dataset.Table, r *rng.RNG, opts Options) (*R
 	return rp, nil
 }
 
+// Samplers bundles the precomputed draw state a calibrated blind repairer
+// runs on: the labelled plan's alias tables (hard/draw/mix — both s-rows of
+// every cell, mixed at draw time by the record's posterior) and the pooled
+// plan's (MethodPooled). Both are immutable and shared across shards.
+type Samplers struct {
+	Labelled *core.PlanSampler
+	Pooled   *core.PlanSampler
+}
+
+// NewCalibrated builds a blind repairer from a fitted calibration and
+// precomputed samplers instead of the research table — the serving-layer
+// constructor. The RNG consumption per record is identical to New's, so a
+// calibrated repairer is byte-identical to a research-fitted one at the
+// same seed when the calibration was fitted on the same research table.
+// Options.Posterior still overrides the calibration's QDA when set; the
+// method's sampler must be present in smp.
+func NewCalibrated(cal *Calibration, smp Samplers, r *rng.RNG, opts Options) (*Repairer, error) {
+	if cal == nil {
+		return nil, errors.New("blind: nil calibration")
+	}
+	if r == nil {
+		return nil, errors.New("blind: nil rng")
+	}
+	rp := &Repairer{method: opts.Method, r: r, dim: cal.dim}
+	switch opts.Method {
+	case MethodHard, MethodDraw, MethodMix:
+		if smp.Labelled == nil {
+			return nil, errors.New("blind: method needs the labelled sampler")
+		}
+		if smp.Labelled.Plan().Dim != cal.dim {
+			return nil, fmt.Errorf("blind: labelled sampler dimension %d does not match calibration %d", smp.Labelled.Plan().Dim, cal.dim)
+		}
+		post := opts.Posterior
+		if post == nil {
+			post = cal.Posterior
+		}
+		rp.posterior = post
+		inner, err := core.NewRepairerShared(smp.Labelled, r, opts.Repair)
+		if err != nil {
+			return nil, err
+		}
+		rp.inner = inner
+	case MethodPooled:
+		if smp.Pooled == nil {
+			return nil, errors.New("blind: pooled method needs the pooled sampler")
+		}
+		if smp.Pooled.Plan().Dim != cal.dim {
+			return nil, fmt.Errorf("blind: pooled sampler dimension %d does not match calibration %d", smp.Pooled.Plan().Dim, cal.dim)
+		}
+		inner, err := core.NewRepairerShared(smp.Pooled, r, opts.Repair)
+		if err != nil {
+			return nil, err
+		}
+		rp.inner = inner
+	default:
+		return nil, fmt.Errorf("blind: unknown method %v", opts.Method)
+	}
+	return rp, nil
+}
+
 // Stats returns the counters accumulated so far.
 func (rp *Repairer) Stats() Stats { return rp.stats }
 
@@ -223,15 +304,23 @@ func (rp *Repairer) RepairRecord(rec dataset.Record) (dataset.Record, error) {
 	if err != nil {
 		return dataset.Record{}, fmt.Errorf("blind: posterior: %w", err)
 	}
-	if gamma < 0 || gamma > 1 {
+	// NaN passes both comparisons below and would index the ambiguity
+	// histogram with int(NaN); reject it explicitly.
+	if math.IsNaN(gamma) || gamma < 0 || gamma > 1 {
 		return dataset.Record{}, fmt.Errorf("blind: posterior %v outside [0,1]", gamma)
 	}
 	rp.stats.Imputed++
-	if gamma >= 0.5 {
-		rp.stats.ConfidenceSum += gamma
-	} else {
-		rp.stats.ConfidenceSum += 1 - gamma
+	conf := gamma
+	if gamma < 0.5 {
+		conf = 1 - gamma
 	}
+	rp.stats.ConfidenceSum += conf
+	// Ambiguity 1 − conf lies in [0, 0.5]; scale to the bin count.
+	bin := int((1 - conf) * 2 * AmbiguityBinCount)
+	if bin >= AmbiguityBinCount {
+		bin = AmbiguityBinCount - 1
+	}
+	rp.stats.AmbiguityBins[bin]++
 
 	switch rp.method {
 	case MethodHard:

@@ -61,14 +61,37 @@ func pooledCell(c *core.Cell, research *dataset.Table, u, k int, opts core.Optio
 	if c.Degenerate {
 		return c, nil
 	}
+	pmf, h, err := pooledMarginalFor(c, research, u, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pooledCellFromPMF(c, pmf, h)
+}
+
+// pooledMarginalFor estimates the pooled u-conditional marginal of Eq. (10)
+// on the cell's support grid, returning the pmf and the KDE bandwidth it
+// was smoothed with. Calibration fitting persists exactly this pair, so a
+// calibration-reconstructed pooled plan is identical to a research-fitted
+// one.
+func pooledMarginalFor(c *core.Cell, research *dataset.Table, u, k int, opts core.Options) ([]float64, float64, error) {
 	pooled := research.UColumn(u, k)
 	est, err := kde.New(pooled, opts.Kernel, opts.Bandwidth)
 	if err != nil {
-		return nil, fmt.Errorf("pooled KDE: %w", err)
+		return nil, 0, fmt.Errorf("pooled KDE: %w", err)
 	}
 	pmf, err := est.GridPMF(c.Q)
 	if err != nil {
-		return nil, fmt.Errorf("pooled interpolation: %w", err)
+		return nil, 0, fmt.Errorf("pooled interpolation: %w", err)
+	}
+	return pmf, est.Bandwidth(), nil
+}
+
+// pooledCellFromPMF assembles the group-blind cell from an already
+// estimated pooled marginal: one monotone transport from the pooled pmf to
+// the cell's barycentric target, planted in both s slots.
+func pooledCellFromPMF(c *core.Cell, pmf []float64, h float64) (*core.Cell, error) {
+	if len(pmf) != len(c.Q) {
+		return nil, fmt.Errorf("pooled marginal has %d states, support has %d", len(pmf), len(c.Q))
 	}
 	mu, err := ot.OnGrid(c.Q, pmf)
 	if err != nil {
@@ -88,6 +111,6 @@ func pooledCell(c *core.Cell, research *dataset.Table, u, k int, opts core.Optio
 		Bary:   c.Bary,
 		Target: [2][]float64{c.Bary, c.Bary},
 		Plans:  [2]*ot.Plan{plan, plan},
-		H:      [2]float64{est.Bandwidth(), est.Bandwidth()},
+		H:      [2]float64{h, h},
 	}, nil
 }

@@ -1,0 +1,430 @@
+// Package blindsvc is the blind serving layer: a batched, sharded
+// implementation of s-unlabelled repair (internal/blind) bound to a
+// persisted calibration artefact, mirroring what internal/repairsvc does
+// for labelled streams. It serves the paper's hardest deployment reality
+// (Section VI): archival records arrive without protected-attribute
+// labels, so the repair is driven by the calibration's posterior
+// Pr[s|x,u] — every draw mixes the two s-conditional transport kernels by
+// that posterior — or by the group-blind pooled transport.
+//
+// The Engine owns two immutable core.PlanSamplers — the labelled plan's
+// alias tables (both s-rows of every cell, selected per draw by the
+// posterior) and the pooled plan's (reconstructed from the calibration
+// without research data) — and fans incoming records across worker
+// goroutines, each holding its own blind.Repairer over the shared samplers
+// with a deterministic rng.Split stream. Determinism contract, identical
+// in shape to repairsvc.Engine's:
+//
+//   - Workers == 1 consumes the caller's RNG stream directly, so output is
+//     byte-identical to blind.Repairer.RepairTable / RepairStream with the
+//     same seed and method — the differential pin of the blind serve path.
+//   - Workers > 1 shards a table contiguously with per-shard streams
+//     r.Split(w) (clamped to a single Split(0) shard on tables smaller
+//     than the worker count, like core.RepairTableParallel); streams are
+//     repaired in chunks with per-(chunk, shard) streams, reproducible for
+//     a fixed (seed, workers, chunk size) regardless of scheduling.
+package blindsvc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"otfair/internal/blind"
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the shard fan-out (0 = GOMAXPROCS, 1 = the serial
+	// byte-compatible mode).
+	Workers int
+	// ChunkSize is the number of records repaired per parallel wave in
+	// streaming mode (default 4096).
+	ChunkSize int
+	// Repair is passed through to every shard repairer.
+	Repair core.RepairOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 4096
+	}
+	return o
+}
+
+// Totals are the engine's cumulative serving counters across all requests
+// and shards: the labelled engine's repair diagnostics plus the blind
+// deployment counters (imputation traffic, posterior confidence, the
+// ambiguity histogram).
+type Totals struct {
+	// Records and Values count repaired records and feature values.
+	Records, Values int64
+	// Clamped and EmptyRowFallbacks aggregate core.Diagnostics.
+	Clamped, EmptyRowFallbacks int64
+	// LabelsUsed counts records that arrived with an observed s label;
+	// Imputed counts records repaired under the posterior.
+	LabelsUsed, Imputed int64
+	// ConfidenceSum accumulates max(γ, 1−γ) over imputed records.
+	ConfidenceSum float64
+	// AmbiguityBins is the aggregated blind.Stats histogram.
+	AmbiguityBins [blind.AmbiguityBinCount]int64
+}
+
+// MeanConfidence is the average MAP-posterior confidence over imputed
+// records, zero when nothing was imputed.
+func (t Totals) MeanConfidence() float64 {
+	if t.Imputed == 0 {
+		return 0
+	}
+	return t.ConfidenceSum / float64(t.Imputed)
+}
+
+// Engine is a batched blind repairer bound to one (plan, calibration)
+// pair. It is safe for concurrent use: the samplers are immutable and the
+// counters are guarded.
+type Engine struct {
+	plan *core.Plan
+	cal  *blind.Calibration
+	smp  blind.Samplers
+	opts Options
+
+	mu     sync.Mutex
+	totals Totals
+}
+
+// NewEngine precomputes both samplers — the labelled plan's alias tables
+// and the pooled plan's, reconstructed from the calibration — and returns
+// an engine. The calibration must have been fitted against exactly this
+// plan (fingerprints are compared), so a store mix-up fails at bind time
+// instead of soft-labelling with a posterior from another design.
+func NewEngine(plan *core.Plan, cal *blind.Calibration, opts Options) (*Engine, error) {
+	if plan == nil {
+		return nil, errors.New("blindsvc: nil plan")
+	}
+	labelled, err := core.NewPlanSampler(plan)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineShared(plan, cal, labelled, opts)
+}
+
+// NewEngineShared is NewEngine over a caller-held labelled sampler, so a
+// serving layer that already bound the plan for labelled traffic
+// (repairsvc.Engine) does not rebuild those alias tables; only the pooled
+// plan's are constructed here.
+func NewEngineShared(plan *core.Plan, cal *blind.Calibration, labelled *core.PlanSampler, opts Options) (*Engine, error) {
+	if plan == nil {
+		return nil, errors.New("blindsvc: nil plan")
+	}
+	if cal == nil {
+		return nil, errors.New("blindsvc: nil calibration")
+	}
+	if labelled == nil {
+		return nil, errors.New("blindsvc: nil labelled sampler")
+	}
+	planID, err := plan.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if cal.PlanID() != planID {
+		return nil, fmt.Errorf("blindsvc: calibration was fitted for plan %s, not %s", cal.PlanID(), planID)
+	}
+	pooledPlan, err := cal.PooledPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	pooled, err := core.NewPlanSampler(pooledPlan)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		plan: plan,
+		cal:  cal,
+		smp:  blind.Samplers{Labelled: labelled, Pooled: pooled},
+		opts: opts.withDefaults(),
+	}, nil
+}
+
+// Plan returns the bound plan.
+func (e *Engine) Plan() *core.Plan { return e.plan }
+
+// Calibration returns the bound calibration.
+func (e *Engine) Calibration() *blind.Calibration { return e.cal }
+
+// WithWorkers derives an engine with a different fan-out over the same
+// plan, calibration and precomputed samplers — the per-request ?workers=
+// override path, which must not rebuild any alias table. Counters start at
+// zero; the caller folds them back into the primary engine via Account.
+func (e *Engine) WithWorkers(workers int) *Engine {
+	opts := e.opts
+	opts.Workers = workers
+	return &Engine{plan: e.plan, cal: e.cal, smp: e.smp, opts: opts.withDefaults()}
+}
+
+// Totals returns a snapshot of the cumulative counters.
+func (e *Engine) Totals() Totals {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.totals
+}
+
+// Account folds a finished request's traffic into the engine's cumulative
+// counters. RepairTable and RepairStream call it themselves; it is
+// exported for callers that ran a derived WithWorkers engine and want the
+// traffic attributed to the primary one.
+func (e *Engine) Account(n int, st blind.Stats, d core.Diagnostics) {
+	e.mu.Lock()
+	e.totals.Records += int64(n)
+	e.totals.Values += d.Repaired
+	e.totals.Clamped += d.Clamped
+	e.totals.EmptyRowFallbacks += d.EmptyRowFallbacks
+	e.totals.LabelsUsed += st.LabelsUsed
+	e.totals.Imputed += st.Imputed
+	e.totals.ConfidenceSum += st.ConfidenceSum
+	for i := range e.totals.AmbiguityBins {
+		e.totals.AmbiguityBins[i] += st.AmbiguityBins[i]
+	}
+	e.mu.Unlock()
+}
+
+// repairer builds one shard's blind repairer over the shared samplers.
+func (e *Engine) repairer(r *rng.RNG, method blind.Method) (*blind.Repairer, error) {
+	return blind.NewCalibrated(e.cal, e.smp, r, blind.Options{Method: method, Repair: e.opts.Repair})
+}
+
+// RepairTable repairs a possibly unlabelled table with the given method.
+// With Workers == 1 it is byte-identical to blind.Repairer.RepairTable on
+// the same RNG; with Workers == w > 1 it shards contiguously on Split(w)
+// streams, clamped to a single Split(0) shard when the table is smaller
+// than the fan-out.
+func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) (*dataset.Table, blind.Stats, core.Diagnostics, error) {
+	var (
+		stats blind.Stats
+		diag  core.Diagnostics
+	)
+	if r == nil {
+		return nil, stats, diag, errors.New("blindsvc: nil rng")
+	}
+	if t == nil {
+		return nil, stats, diag, errors.New("blindsvc: nil table")
+	}
+	if t.Dim() != e.plan.Dim {
+		return nil, stats, diag, fmt.Errorf("blindsvc: table dimension %d does not match plan %d", t.Dim(), e.plan.Dim)
+	}
+	if e.opts.Workers == 1 {
+		rp, err := e.repairer(r, method)
+		if err != nil {
+			return nil, stats, diag, err
+		}
+		out, err := rp.RepairTable(t)
+		if err != nil {
+			return nil, stats, diag, err
+		}
+		stats, diag = rp.Stats(), rp.Diagnostics()
+		e.Account(t.Len(), stats, diag)
+		return out, stats, diag, nil
+	}
+
+	workers := e.opts.Workers
+	n := t.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		rp, err := e.repairer(r.Split(0), method)
+		if err != nil {
+			return nil, stats, diag, err
+		}
+		out, err := rp.RepairTable(t)
+		if err != nil {
+			return nil, stats, diag, err
+		}
+		stats, diag = rp.Stats(), rp.Diagnostics()
+		e.Account(t.Len(), stats, diag)
+		return out, stats, diag, nil
+	}
+
+	repaired := make([]dataset.Record, n)
+	allStats := make([]blind.Stats, workers)
+	diags := make([]core.Diagnostics, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rp, err := e.repairer(r.Split(uint64(w)), method)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				rec, err := rp.RepairRecord(t.At(i))
+				if err != nil {
+					errs[w] = fmt.Errorf("blindsvc: record %d: %w", i, err)
+					return
+				}
+				repaired[i] = rec
+			}
+			allStats[w] = rp.Stats()
+			diags[w] = rp.Diagnostics()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, diag, err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		stats.Merge(allStats[w])
+		diag.Merge(diags[w])
+	}
+	out, err := dataset.NewTable(t.Dim(), t.Names())
+	if err != nil {
+		return nil, stats, diag, err
+	}
+	if err := out.AppendAll(repaired); err != nil {
+		return nil, stats, diag, err
+	}
+	e.Account(n, stats, diag)
+	return out, stats, diag, nil
+}
+
+// RepairStream consumes a possibly unlabelled record stream and emits
+// repaired records to sink in input order. With one worker it holds a
+// single repairer over the caller's stream (byte-identical to
+// blind.Repairer.RepairStream); with more it repairs chunks of ChunkSize
+// across per-(chunk, shard) split streams, holding at most one chunk in
+// memory. The sink always runs serially, in order, from the calling
+// goroutine.
+func (e *Engine) RepairStream(r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (int, blind.Stats, core.Diagnostics, error) {
+	var (
+		stats blind.Stats
+		diag  core.Diagnostics
+	)
+	if r == nil {
+		return 0, stats, diag, errors.New("blindsvc: nil rng")
+	}
+	if in == nil {
+		return 0, stats, diag, errors.New("blindsvc: nil stream")
+	}
+	if in.Dim() != e.plan.Dim {
+		return 0, stats, diag, fmt.Errorf("blindsvc: stream dimension %d does not match plan %d", in.Dim(), e.plan.Dim)
+	}
+	if e.opts.Workers <= 1 {
+		rp, err := e.repairer(r, method)
+		if err != nil {
+			return 0, stats, diag, err
+		}
+		n, err := rp.RepairStream(in, sink)
+		stats, diag = rp.Stats(), rp.Diagnostics()
+		e.Account(n, stats, diag)
+		return n, stats, diag, err
+	}
+	return e.repairStreamChunked(r, method, in, sink)
+}
+
+// repairStreamChunked is the parallel streaming body; emitted traffic is
+// accounted on every exit path, matching the serial mode.
+func (e *Engine) repairStreamChunked(r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (total int, stats blind.Stats, diag core.Diagnostics, err error) {
+	defer func() { e.Account(total, stats, diag) }()
+	workers := e.opts.Workers
+	chunk := make([]dataset.Record, 0, e.opts.ChunkSize)
+	repaired := make([]dataset.Record, e.opts.ChunkSize)
+	chunkIdx := uint64(0)
+	for {
+		chunk = chunk[:0]
+		var streamErr error
+		for len(chunk) < e.opts.ChunkSize {
+			rec, err := in.Next()
+			if err == io.EOF {
+				streamErr = io.EOF
+				break
+			}
+			if err != nil {
+				return total, stats, diag, err
+			}
+			chunk = append(chunk, rec)
+		}
+		if len(chunk) > 0 {
+			st, d, err := e.repairChunk(r, method, chunkIdx, workers, chunk, repaired)
+			if err != nil {
+				return total, stats, diag, err
+			}
+			stats.Merge(st)
+			diag.Merge(d)
+			for i := range chunk {
+				if err := sink(repaired[i]); err != nil {
+					return total, stats, diag, err
+				}
+				total++
+			}
+			chunkIdx++
+		}
+		if streamErr == io.EOF {
+			return total, stats, diag, nil
+		}
+	}
+}
+
+// repairChunk repairs chunk records into out[:len(chunk)] across workers
+// contiguous shards with per-(chunk, shard) RNG streams.
+func (e *Engine) repairChunk(r *rng.RNG, method blind.Method, chunkIdx uint64, workers int, chunk, out []dataset.Record) (blind.Stats, core.Diagnostics, error) {
+	var (
+		stats blind.Stats
+		diag  core.Diagnostics
+	)
+	n := len(chunk)
+	if workers > n {
+		workers = n
+	}
+	allStats := make([]blind.Stats, workers)
+	diags := make([]core.Diagnostics, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rp, err := e.repairer(r.Split(chunkIdx*uint64(e.opts.Workers)+uint64(w)), method)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				rec, err := rp.RepairRecord(chunk[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = rec
+			}
+			allStats[w] = rp.Stats()
+			diags[w] = rp.Diagnostics()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, diag, err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		stats.Merge(allStats[w])
+		diag.Merge(diags[w])
+	}
+	return stats, diag, nil
+}

@@ -1,0 +1,299 @@
+package blindsvc
+
+import (
+	"sync"
+	"testing"
+
+	"otfair/internal/blind"
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/fairmetrics"
+	"otfair/internal/rng"
+	"otfair/internal/simulate"
+)
+
+// testData draws research/archive tables from the paper's simulation
+// scenario, designs the labelled plan, fits a calibration, and strips the
+// archive's s labels — the blind serving setup.
+func testData(t testing.TB, seed uint64, nR, nA, nq int) (*core.Plan, *blind.Calibration, *dataset.Table, *dataset.Table) {
+	t.Helper()
+	sampler, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	research, archive, err := sampler.ResearchArchive(rng.New(seed), nR, nA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Design(research, core.Options{NQ: nq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := blind.NewCalibration(plan, research)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, cal, research, archive.DropS()
+}
+
+func tablesEqual(t *testing.T, a, b *dataset.Table) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("length mismatch: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.At(i), b.At(i)
+		if ra.S != rb.S || ra.U != rb.U {
+			t.Fatalf("record %d labels differ", i)
+		}
+		for k := range ra.X {
+			if ra.X[k] != rb.X[k] {
+				t.Fatalf("record %d feature %d: %v != %v", i, k, ra.X[k], rb.X[k])
+			}
+		}
+	}
+}
+
+var allMethods = []blind.Method{blind.MethodHard, blind.MethodDraw, blind.MethodMix, blind.MethodPooled}
+
+// TestEngineSerialByteIdentical is the blind differential pin: with
+// workers=1 the engine reproduces blind.Repairer.RepairTable byte for byte
+// at the same seed, for every blind method, in both table and streaming
+// mode. This is the contract the blind serve path rests on.
+func TestEngineSerialByteIdentical(t *testing.T) {
+	plan, cal, research, unlabelled := testData(t, 1, 300, 1200, 40)
+	engine, err := NewEngine(plan, cal, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range allMethods {
+		ref, err := blind.New(plan, research, rng.New(11), blind.Options{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.RepairTable(unlabelled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, diag, err := engine.RepairTable(rng.New(11), method, unlabelled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesEqual(t, got, want)
+		if st != ref.Stats() {
+			t.Errorf("method %v: stats differ: %+v vs %+v", method, st, ref.Stats())
+		}
+		if diag != ref.Diagnostics() {
+			t.Errorf("method %v: diagnostics differ: %+v vs %+v", method, diag, ref.Diagnostics())
+		}
+
+		// Streaming mode, same contract.
+		streamed, err := dataset.NewTable(unlabelled.Dim(), unlabelled.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _, _, err := engine.RepairStream(rng.New(11), method, dataset.NewSliceStream(unlabelled), streamed.Append)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != unlabelled.Len() {
+			t.Fatalf("streamed %d of %d", n, unlabelled.Len())
+		}
+		tablesEqual(t, streamed, want)
+	}
+}
+
+// TestEngineSharedSamplerByteIdentical pins NewEngineShared — the serving
+// layer's constructor reusing the labelled engine's sampler — to the
+// self-built path.
+func TestEngineSharedSamplerByteIdentical(t *testing.T) {
+	plan, cal, _, unlabelled := testData(t, 2, 250, 600, 30)
+	labelled, err := core.NewPlanSampler(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own, err := NewEngine(plan, cal, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewEngineShared(plan, cal, labelled, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range allMethods {
+		a, _, _, err := own.RepairTable(rng.New(3), method, unlabelled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, _, err := shared.RepairTable(rng.New(3), method, unlabelled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesEqual(t, a, b)
+	}
+}
+
+// TestEngineParallelDeterministicAndEffective pins the workers=N modes:
+// repeatable for a fixed (seed, workers, chunk) in both table and stream
+// form, clamped correctly on tiny tables, and actually repairing — the
+// posterior-mixed repair must quench most of the measured unfairness.
+func TestEngineParallelDeterministicAndEffective(t *testing.T) {
+	plan, cal, _, unlabelled := testData(t, 3, 400, 3000, 50)
+	engine, err := NewEngine(plan, cal, Options{Workers: 4, ChunkSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := dataset.NewTable(unlabelled.Dim(), unlabelled.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.Append(unlabelled.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range allMethods {
+		runTable := func(tbl *dataset.Table) *dataset.Table {
+			out, _, _, err := engine.RepairTable(rng.New(5), method, tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		tablesEqual(t, runTable(unlabelled), runTable(unlabelled))
+		tablesEqual(t, runTable(tiny), runTable(tiny))
+		runStream := func() *dataset.Table {
+			out, err := dataset.NewTable(unlabelled.Dim(), unlabelled.Names())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := engine.RepairStream(rng.New(5), method, dataset.NewSliceStream(unlabelled), out.Append); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		tablesEqual(t, runStream(), runStream())
+	}
+
+	// Effectiveness, judged against the true labels: repair blind, then
+	// re-attach the ground-truth s and check E dropped substantially.
+	sampler, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, labelledArchive, err := sampler.ResearchArchive(rng.New(3), 400, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, _, err := engine.RepairTable(rng.New(5), blind.MethodDraw, unlabelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Imputed != int64(unlabelled.Len()) {
+		t.Errorf("imputed %d of %d unlabelled records", st.Imputed, unlabelled.Len())
+	}
+	relabelled := out.Clone()
+	for i := range relabelled.Records() {
+		relabelled.Records()[i].S = labelledArchive.At(i).S
+	}
+	cfg := fairmetrics.Config{Estimator: fairmetrics.EstimatorPlugin}
+	before, err := fairmetrics.E(labelledArchive, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := fairmetrics.E(relabelled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(after < before/2) {
+		t.Errorf("blind parallel repair too weak: E %.4f -> %.4f", before, after)
+	}
+}
+
+// TestEngineMixedLabels checks that records arriving with an observed s
+// keep the labelled fast path (LabelsUsed) while unlabelled ones are
+// imputed, and that the totals ledger adds up.
+func TestEngineMixedLabels(t *testing.T) {
+	plan, cal, _, unlabelled := testData(t, 4, 250, 400, 30)
+	sampler, err := simulate.NewSampler(simulate.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, labelledArchive, err := sampler.ResearchArchive(rng.New(4), 250, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := dataset.NewTable(unlabelled.Dim(), unlabelled.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < unlabelled.Len(); i++ {
+		rec := unlabelled.At(i)
+		if i%2 == 0 {
+			rec = labelledArchive.At(i)
+		}
+		if err := mixed.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine, err := NewEngine(plan, cal, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, _, err := engine.RepairTable(rng.New(7), blind.MethodHard, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LabelsUsed != int64((mixed.Len()+1)/2) || st.Imputed != int64(mixed.Len()/2) {
+		t.Errorf("labels used %d / imputed %d, want %d/%d", st.LabelsUsed, st.Imputed, (mixed.Len()+1)/2, mixed.Len()/2)
+	}
+	totals := engine.Totals()
+	if totals.Records != int64(mixed.Len()) || totals.LabelsUsed != st.LabelsUsed || totals.Imputed != st.Imputed {
+		t.Errorf("totals %+v do not match request stats %+v", totals, st)
+	}
+	if totals.MeanConfidence() <= 0.5 || totals.MeanConfidence() > 1 {
+		t.Errorf("mean confidence %v outside (0.5, 1]", totals.MeanConfidence())
+	}
+}
+
+// TestEngineCalibrationMismatch ensures a calibration fitted for another
+// plan is rejected at bind time.
+func TestEngineCalibrationMismatch(t *testing.T) {
+	plan, _, _, _ := testData(t, 5, 250, 10, 30)
+	_, otherCal, _, _ := testData(t, 6, 250, 10, 30)
+	if _, err := NewEngine(plan, otherCal, Options{}); err == nil {
+		t.Fatal("calibration for a different plan bound without error")
+	}
+}
+
+// TestEngineConcurrentRequests hammers one engine from several goroutines
+// with different methods; under -race this certifies the shared-sampler
+// blind path.
+func TestEngineConcurrentRequests(t *testing.T) {
+	plan, cal, _, unlabelled := testData(t, 7, 250, 800, 30)
+	engine, err := NewEngine(plan, cal, Options{Workers: 2, ChunkSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	outs := make([]*dataset.Table, 6)
+	for g := range outs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			method := allMethods[g%len(allMethods)]
+			out, _, _, err := engine.RepairTable(rng.New(99), method, unlabelled)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			outs[g] = out
+		}(g)
+	}
+	wg.Wait()
+	// Same (seed, method, workers) pairs must agree even under contention.
+	for g := len(allMethods); g < len(outs); g++ {
+		tablesEqual(t, outs[g-len(allMethods)], outs[g])
+	}
+	if got := engine.Totals().Records; got != int64(6*unlabelled.Len()) {
+		t.Errorf("totals records = %d, want %d", got, 6*unlabelled.Len())
+	}
+}

@@ -103,9 +103,7 @@ func RepairTableParallelShared(sampler *PlanSampler, r *rng.RNG, opts RepairOpti
 		}
 	}
 	for _, d := range diags {
-		diag.Repaired += d.Repaired
-		diag.Clamped += d.Clamped
-		diag.EmptyRowFallbacks += d.EmptyRowFallbacks
+		diag.Merge(d)
 	}
 	out, err := dataset.NewTable(t.Dim(), t.Names())
 	if err != nil {

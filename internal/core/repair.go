@@ -49,6 +49,14 @@ type Diagnostics struct {
 	EmptyRowFallbacks int64
 }
 
+// Merge folds another counter set into d; the parallel and serving paths
+// aggregate per-shard diagnostics with it.
+func (d *Diagnostics) Merge(o Diagnostics) {
+	d.Repaired += o.Repaired
+	d.Clamped += o.Clamped
+	d.EmptyRowFallbacks += o.EmptyRowFallbacks
+}
+
 // Repairer applies a designed Plan to off-sample data (Algorithm 2).
 // A Repairer is not safe for concurrent use: it owns an RNG stream. Create
 // one per goroutine with independent rng.RNG splits; they can all share one

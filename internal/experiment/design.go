@@ -1,0 +1,28 @@
+package experiment
+
+import (
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/planstore"
+)
+
+// designIndex, when set, routes every experiment design through the
+// disk-backed artefact tier the serving layer shares, so repeated artefact
+// runs warm-start finished plans by input hash instead of re-running the
+// KDE + OT design (cmd/repro -store).
+var designIndex *planstore.DesignIndex
+
+// SetDesignStore installs (or, with nil, removes) the disk warm-start tier
+// for experiment designs. Call before launching experiments; the harness
+// designs from many goroutines and the index itself is concurrency-safe,
+// but swapping it mid-run is not.
+func SetDesignStore(ix *planstore.DesignIndex) { designIndex = ix }
+
+// design is the single Algorithm-1 entry point for the experiment harness:
+// core.Design, optionally warm-started through the plan store.
+func design(research *dataset.Table, opts core.Options) (*core.Plan, error) {
+	if designIndex != nil {
+		return designIndex.Design(research, opts)
+	}
+	return core.Design(research, opts)
+}

@@ -1,0 +1,325 @@
+// The store machinery below is artefact-generic: the serving layer persists
+// more than one kind of deployment artefact (repair plans, blind
+// calibrations, design links), all with the same lifecycle — canonical
+// serialized bytes, a 128-bit content fingerprint as the key, atomic
+// temp-file-and-rename writes, loud validation on load, an in-memory LRU of
+// decoded values on top of unbounded-by-default disk retention. Artefacts
+// implements that lifecycle once; the typed stores (Store for plans,
+// CalibrationStore for blind calibrations) are thin wrappers that pin the
+// namespace and the decode function.
+package planstore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Decoder validates and deserializes one artefact's canonical bytes. It must
+// fail loudly on corrupted input: the store trusts it as the read-path gate.
+type Decoder func(raw []byte) (any, error)
+
+// Artefacts is a disk-backed content-addressed registry for one artefact
+// namespace, with an in-memory LRU of decoded values. All methods are safe
+// for concurrent use.
+type Artefacts struct {
+	dir    string
+	kind   string // artefact noun for error messages ("plan", "calibration")
+	decode Decoder
+	opts   Options
+
+	mu    sync.Mutex
+	cache map[string]*list.Element // fingerprint -> lru element
+	lru   *list.List               // front = most recent; values are *cacheEntry
+	stats Stats
+}
+
+type cacheEntry struct {
+	id    string
+	value any
+}
+
+// OpenArtefacts creates (if needed) and opens an artefact namespace rooted
+// at dir. kind names the artefact in errors; decode gates every disk read.
+func OpenArtefacts(dir, kind string, decode Decoder, opts Options) (*Artefacts, error) {
+	if dir == "" {
+		return nil, errors.New("planstore: empty directory")
+	}
+	if decode == nil {
+		return nil, errors.New("planstore: nil decoder")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("planstore: creating %s: %w", dir, err)
+	}
+	return &Artefacts{
+		dir:    dir,
+		kind:   kind,
+		decode: decode,
+		opts:   opts.withDefaults(),
+		cache:  make(map[string]*list.Element),
+		lru:    list.New(),
+	}, nil
+}
+
+// Dir reports the namespace's root directory.
+func (a *Artefacts) Dir() string { return a.dir }
+
+// CacheCap reports the (defaulted) LRU capacity — the most decoded
+// artefacts the memory tier will hold, and therefore the most a prewarm
+// walk can usefully load.
+func (a *Artefacts) CacheCap() int { return a.opts.CacheSize }
+
+// validID reports whether id is a well-formed fingerprint — 32 lowercase
+// hex characters. Everything else is rejected before touching the
+// filesystem, which is also what keeps request-supplied IDs from escaping
+// the store directory.
+func validID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Artefacts) path(id string) string {
+	return filepath.Join(a.dir, id+".json")
+}
+
+// PutBytes persists an artefact given its canonical bytes and the already
+// decoded value (kept hot in the LRU), returning the content fingerprint
+// and whether this call created the entry. Storing content the store
+// already holds is a cheap no-op (created == false).
+func (a *Artefacts) PutBytes(raw []byte, value any) (id string, created bool, err error) {
+	id = fingerprint(raw)
+	path := a.path(id)
+	if _, err := os.Stat(path); err == nil {
+		// Content-addressed: an existing file with this name holds these
+		// bytes already (or a corruption the decoder will catch loudly).
+		// Refresh the mtime so TTL retention (Prune) measures age since
+		// the artefact was last stored, not since first creation — a
+		// re-Put is a client saying "still in use".
+		now := time.Now()
+		os.Chtimes(path, now, now)
+		a.mu.Lock()
+		a.stats.DupPuts++
+		a.touch(id, value)
+		a.mu.Unlock()
+		return id, false, nil
+	}
+	// Same-directory temp file + rename: the live name either does not
+	// exist or holds the complete bytes, never a torn write.
+	tmp, err := os.CreateTemp(a.dir, id+".tmp-*")
+	if err != nil {
+		return "", false, fmt.Errorf("planstore: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", false, fmt.Errorf("planstore: writing %s: %w", id, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", false, fmt.Errorf("planstore: syncing %s: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", false, fmt.Errorf("planstore: closing %s: %w", id, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return "", false, fmt.Errorf("planstore: committing %s: %w", id, err)
+	}
+	a.mu.Lock()
+	a.stats.Puts++
+	a.touch(id, value)
+	a.mu.Unlock()
+	return id, true, nil
+}
+
+// Get returns the artefact with the given fingerprint, from memory when
+// hot, decoded from disk otherwise. The returned value is shared and must
+// be treated read-only (all persisted artefacts are immutable).
+func (a *Artefacts) Get(id string) (any, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	a.mu.Lock()
+	if el, ok := a.cache[id]; ok {
+		a.lru.MoveToFront(el)
+		a.stats.MemHits++
+		value := el.Value.(*cacheEntry).value
+		a.mu.Unlock()
+		return value, nil
+	}
+	a.mu.Unlock()
+
+	raw, err := os.ReadFile(a.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		a.mu.Lock()
+		a.stats.Misses++
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s %s", ErrNotFound, a.kind, id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("planstore: opening %s: %w", id, err)
+	}
+	// Enforce content addressing on the read path too: the decoder
+	// validates structure, not identity, so a file renamed or restored
+	// under the wrong name would otherwise serve the wrong artefact under
+	// this fingerprint.
+	if got := fingerprint(raw); got != id {
+		return nil, fmt.Errorf("planstore: %s %s: content fingerprint is %s (file corrupted or misnamed)", a.kind, id, got)
+	}
+	value, err := a.decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("planstore: %s %s: %w", a.kind, id, err)
+	}
+	a.mu.Lock()
+	a.stats.DiskHits++
+	a.touch(id, value)
+	a.mu.Unlock()
+	return value, nil
+}
+
+// Has reports whether the fingerprint exists in memory or on disk, without
+// decoding.
+func (a *Artefacts) Has(id string) bool {
+	if !validID(id) {
+		return false
+	}
+	a.mu.Lock()
+	_, hot := a.cache[id]
+	a.mu.Unlock()
+	if hot {
+		return true
+	}
+	_, err := os.Stat(a.path(id))
+	return err == nil
+}
+
+// Delete removes an artefact from memory and disk. Deleting an absent
+// artefact is a no-op.
+func (a *Artefacts) Delete(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	a.mu.Lock()
+	if el, ok := a.cache[id]; ok {
+		a.lru.Remove(el)
+		delete(a.cache, id)
+	}
+	a.mu.Unlock()
+	if err := os.Remove(a.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("planstore: deleting %s: %w", id, err)
+	}
+	return nil
+}
+
+// IDs lists every fingerprint persisted on disk, in directory order.
+// Temp files from in-flight or crashed writes and nested namespace
+// directories are excluded.
+func (a *Artefacts) IDs() ([]string, error) {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("planstore: listing %s: %w", a.dir, err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		id, ok := strings.CutSuffix(name, ".json")
+		if !ok || !validID(id) {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Prune enforces an age-based retention policy: every artefact whose file
+// modification time is older than maxAge is removed from disk and dropped
+// from the LRU, and so are abandoned temp files from crashed writes. It
+// returns the number of artefacts removed.
+//
+// Content addressing is what makes TTL retention safe: a pruned artefact
+// that is still needed is simply re-Put under the identical fingerprint by
+// whoever holds it — retention never changes any surviving artefact's
+// identity, and each removal is an independent atomic unlink, so a crash
+// mid-prune leaves a smaller but fully consistent store.
+func (a *Artefacts) Prune(maxAge time.Duration) (removed int, err error) {
+	if maxAge <= 0 {
+		return 0, errors.New("planstore: non-positive prune age")
+	}
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return 0, fmt.Errorf("planstore: listing %s: %w", a.dir, err)
+	}
+	cutoff := time.Now().Add(-maxAge)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		info, ierr := e.Info()
+		if ierr != nil {
+			// Raced with a concurrent delete; nothing to prune.
+			continue
+		}
+		if !info.ModTime().Before(cutoff) {
+			continue
+		}
+		id, isLive := strings.CutSuffix(name, ".json")
+		if isLive && validID(id) {
+			if derr := a.Delete(id); derr != nil {
+				return removed, derr
+			}
+			removed++
+			continue
+		}
+		// Stale temp file (or foreign debris) past the age cutoff: a write
+		// that crashed before its rename can never be completed, so the
+		// spool is garbage.
+		if strings.Contains(name, ".tmp-") {
+			if rerr := os.Remove(filepath.Join(a.dir, name)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				return removed, fmt.Errorf("planstore: pruning %s: %w", name, rerr)
+			}
+		}
+	}
+	return removed, nil
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (a *Artefacts) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// touch inserts or refreshes an LRU entry; caller holds a.mu.
+func (a *Artefacts) touch(id string, value any) {
+	if el, ok := a.cache[id]; ok {
+		a.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).value = value
+		return
+	}
+	a.cache[id] = a.lru.PushFront(&cacheEntry{id: id, value: value})
+	for a.lru.Len() > a.opts.CacheSize {
+		back := a.lru.Back()
+		a.lru.Remove(back)
+		delete(a.cache, back.Value.(*cacheEntry).id)
+		a.stats.Evictions++
+	}
+}

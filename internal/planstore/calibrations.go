@@ -1,0 +1,80 @@
+package planstore
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"time"
+
+	"otfair/internal/blind"
+)
+
+// calibrationNamespace is the subdirectory of a store root that holds the
+// calibration artefacts, keeping them out of the plan listing while both
+// tiers share one -store directory.
+const calibrationNamespace = "calibrations"
+
+// CalibrationStore is the blind-calibration namespace of an artefact
+// store: fitted QDA/pooled models (blind.Calibration) keyed by content
+// fingerprint, under `calibrations/` of the store root. All methods are
+// safe for concurrent use.
+type CalibrationStore struct {
+	a *Artefacts
+}
+
+// OpenCalibrations creates (if needed) and opens the calibration namespace
+// under a store root — typically the same directory a plan Store is rooted
+// at, so one -store flag provisions both tiers.
+func OpenCalibrations(root string, opts Options) (*CalibrationStore, error) {
+	a, err := OpenArtefacts(filepath.Join(root, calibrationNamespace), "calibration", func(raw []byte) (any, error) {
+		return blind.ReadCalibration(bytes.NewReader(raw))
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibrationStore{a: a}, nil
+}
+
+// Dir reports the namespace directory.
+func (cs *CalibrationStore) Dir() string { return cs.a.Dir() }
+
+// CacheCap reports the in-memory LRU capacity.
+func (cs *CalibrationStore) CacheCap() int { return cs.a.CacheCap() }
+
+// Put persists a calibration, returning its content fingerprint and
+// whether this call created the entry.
+func (cs *CalibrationStore) Put(cal *blind.Calibration) (id string, created bool, err error) {
+	if cal == nil {
+		return "", false, errors.New("planstore: nil calibration")
+	}
+	raw, err := cal.MarshalCanonical()
+	if err != nil {
+		return "", false, err
+	}
+	return cs.a.PutBytes(raw, cal)
+}
+
+// Get returns the calibration with the given fingerprint; the returned
+// value is shared and must be treated read-only.
+func (cs *CalibrationStore) Get(id string) (*blind.Calibration, error) {
+	v, err := cs.a.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*blind.Calibration), nil
+}
+
+// Has reports whether the fingerprint exists in memory or on disk.
+func (cs *CalibrationStore) Has(id string) bool { return cs.a.Has(id) }
+
+// Delete removes a calibration from memory and disk.
+func (cs *CalibrationStore) Delete(id string) error { return cs.a.Delete(id) }
+
+// IDs lists every calibration fingerprint persisted on disk.
+func (cs *CalibrationStore) IDs() ([]string, error) { return cs.a.IDs() }
+
+// Prune removes every calibration older than maxAge; see Artefacts.Prune.
+func (cs *CalibrationStore) Prune(maxAge time.Duration) (int, error) { return cs.a.Prune(maxAge) }
+
+// Stats returns a snapshot of the cumulative counters.
+func (cs *CalibrationStore) Stats() Stats { return cs.a.Stats() }

@@ -1,0 +1,196 @@
+package planstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+)
+
+// designNamespace is the subdirectory of a store root that holds the
+// design warm-start links.
+const designNamespace = "designs"
+
+// DesignIndex is the disk warm-start tier for Algorithm 1: a mapping from
+// design *inputs* (research table + options) to the content fingerprint of
+// the designed plan, layered over a plan Store. The store itself is
+// content-addressed on outputs, so repeated designs of the same inputs
+// always dedupe on disk — but without an input index every run still pays
+// the full KDE + OT design cost before discovering that. The index closes
+// the loop: cmd/repro (and anything else re-running experiment
+// configurations) resolves the input key first and reloads the finished
+// plan from the same disk tier the serving layer shares.
+//
+// Layout: one `<inputkey>.link` file per design under `designs/` of the
+// store root, holding the plan fingerprint as JSON. Links are written
+// atomically (temp file + rename) and are pure derived data: a dangling
+// link — the plan was pruned — just falls back to a fresh design that
+// re-creates both sides.
+type DesignIndex struct {
+	store *Store
+	dir   string
+
+	mu sync.Mutex
+	// Hits and Misses count warm starts served from the disk tier vs
+	// designs computed from scratch.
+	hits, misses uint64
+}
+
+// NewDesignIndex opens (creating if needed) the design namespace under the
+// store's root directory.
+func NewDesignIndex(store *Store) (*DesignIndex, error) {
+	if store == nil {
+		return nil, errors.New("planstore: nil store")
+	}
+	dir := filepath.Join(store.Dir(), designNamespace)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("planstore: creating %s: %w", dir, err)
+	}
+	return &DesignIndex{store: store, dir: dir}, nil
+}
+
+// designKey fingerprints the design inputs: the research table's canonical
+// CSV bytes plus every option field that shapes the output. Two calls with
+// identical inputs share a key; any change to data or configuration yields
+// a new one.
+func designKey(research *dataset.Table, opts core.Options) (string, error) {
+	var buf bytes.Buffer
+	if err := research.WriteCSV(&buf); err != nil {
+		return "", err
+	}
+	if err := json.NewEncoder(&buf).Encode(opts); err != nil {
+		return "", err
+	}
+	return fingerprint(buf.Bytes()), nil
+}
+
+func (ix *DesignIndex) linkPath(key string) string {
+	return filepath.Join(ix.dir, key+".link")
+}
+
+// Design returns the plan for (research, opts), warm-starting from the
+// disk tier when this exact design has run before — in this process or any
+// other sharing the store — and designing, persisting and indexing it
+// otherwise. It is safe for concurrent use.
+func (ix *DesignIndex) Design(research *dataset.Table, opts core.Options) (*core.Plan, error) {
+	key, err := designKey(research, opts)
+	if err != nil {
+		return nil, err
+	}
+	if raw, err := os.ReadFile(ix.linkPath(key)); err == nil {
+		id := strings.TrimSpace(string(raw))
+		if plan, err := ix.store.Get(id); err == nil {
+			ix.mu.Lock()
+			ix.hits++
+			ix.mu.Unlock()
+			return plan, nil
+		}
+		// Dangling or corrupted link (the plan was pruned, or the file is
+		// damaged): fall through to a fresh design that rewrites it.
+	}
+	plan, err := core.Design(research, opts)
+	if err != nil {
+		return nil, err
+	}
+	id, _, err := ix.store.Put(plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.writeLink(key, id); err != nil {
+		return nil, err
+	}
+	ix.mu.Lock()
+	ix.misses++
+	ix.mu.Unlock()
+	return plan, nil
+}
+
+// writeLink commits a link atomically, same-directory temp file + rename.
+func (ix *DesignIndex) writeLink(key, id string) error {
+	tmp, err := os.CreateTemp(ix.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("planstore: link temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.WriteString(id + "\n"); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("planstore: writing link %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("planstore: closing link %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, ix.linkPath(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("planstore: committing link %s: %w", key, err)
+	}
+	return nil
+}
+
+// Stats reports warm starts served from the disk tier (hits) and designs
+// computed from scratch (misses).
+func (ix *DesignIndex) Stats() (hits, misses uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.hits, ix.misses
+}
+
+// Prune removes links older than maxAge, links whose target plan is no
+// longer in the store (plan pruning leaves them dangling), and abandoned
+// link temp files past the cutoff. Links are pure derived data, so
+// removal is always safe — the worst case is one fresh design that
+// re-creates both sides. It returns the number of links removed.
+func (ix *DesignIndex) Prune(maxAge time.Duration) (removed int, err error) {
+	if maxAge <= 0 {
+		return 0, errors.New("planstore: non-positive prune age")
+	}
+	entries, err := os.ReadDir(ix.dir)
+	if err != nil {
+		return 0, fmt.Errorf("planstore: listing %s: %w", ix.dir, err)
+	}
+	cutoff := time.Now().Add(-maxAge)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		full := filepath.Join(ix.dir, name)
+		key, isLink := strings.CutSuffix(name, ".link")
+		if !isLink {
+			if strings.Contains(name, ".tmp-") {
+				if info, ierr := e.Info(); ierr == nil && info.ModTime().Before(cutoff) {
+					os.Remove(full)
+				}
+			}
+			continue
+		}
+		stale := false
+		if info, ierr := e.Info(); ierr == nil && info.ModTime().Before(cutoff) {
+			stale = true
+		}
+		if !stale {
+			raw, rerr := os.ReadFile(full)
+			if rerr != nil {
+				continue // raced with a concurrent rewrite
+			}
+			stale = !ix.store.Has(strings.TrimSpace(string(raw)))
+		}
+		if !stale {
+			continue
+		}
+		if rerr := os.Remove(full); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			return removed, fmt.Errorf("planstore: pruning link %s: %w", key, rerr)
+		}
+		removed++
+	}
+	return removed, nil
+}

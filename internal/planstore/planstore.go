@@ -1,52 +1,51 @@
-// Package planstore is the durable design tier of the repair service: a
-// disk-backed registry of serialized repair plans keyed by their 128-bit
-// content fingerprint (core.Plan.Fingerprint), with an in-memory LRU of
-// deserialized plans on top.
+// Package planstore is the durable artefact tier of the repair service: a
+// disk-backed, content-addressed registry of serialized deployment
+// artefacts — repair plans, blind calibrations, design links — keyed by
+// their 128-bit content fingerprint (core.FingerprintBytes), with an
+// in-memory LRU of decoded values on top.
 //
 // The paper's whole deployment story is the design/apply split — Algorithm 1
 // runs once on a small research set, Algorithm 2 then repairs unbounded
 // archival torrents, possibly in other processes and long after design
 // time. The store is the boundary object: cmd/repro and repair fleets warm
 // start across process restarts by content hash, the serving layer
-// (internal/repairsvc) resolves request plan IDs through it, and because
+// (internal/repairsvc) resolves request artefact IDs through it, and because
 // the key is a content hash the store deduplicates structurally — designing
-// the same plan twice, or uploading a plan a peer already designed, is a
-// no-op write to the same file.
+// the same plan twice, or uploading an artefact a peer already designed, is
+// a no-op write to the same file.
 //
-// Layout: one `<fingerprint>.json` per plan under the store directory, each
-// exactly the canonical WriteJSON bytes. Writes go through a same-directory
-// temp file and rename, so a crash mid-write can never leave a live
-// truncated entry; Load re-validates every component through core.ReadPlan,
-// so a corrupted file fails loudly instead of repairing data with garbage.
+// Layout: one `<fingerprint>.json` per artefact under the namespace
+// directory, each exactly the canonical serialized bytes; plans live at the
+// store root (Store), calibrations under `calibrations/`
+// (CalibrationStore), design warm-start links under `designs/`
+// (DesignIndex). Writes go through a same-directory temp file and rename,
+// so a crash mid-write can never leave a live truncated entry; every load
+// re-validates through the artefact's full deserializer, so a corrupted
+// file fails loudly instead of repairing data with garbage.
 package planstore
 
 import (
 	"bytes"
-	"container/list"
 	"errors"
-	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
-	"sync"
+	"time"
 
 	"otfair/internal/core"
 )
 
 // ErrNotFound reports a fingerprint absent from both memory and disk.
-var ErrNotFound = errors.New("planstore: plan not found")
+var ErrNotFound = errors.New("planstore: artefact not found")
 
 // ErrBadID reports a malformed fingerprint (not 32 lowercase hex chars) —
 // a caller error, distinct from a store miss, so HTTP layers can map it to
 // a 4xx instead of a server error.
-var ErrBadID = errors.New("planstore: malformed plan id")
+var ErrBadID = errors.New("planstore: malformed artefact id")
 
 // Options configures a store.
 type Options struct {
-	// CacheSize bounds the in-memory LRU of deserialized plans
-	// (default 64; minimum 1). Disk retention is unbounded — plans are
-	// a few hundred kilobytes at paper scale and the store is the
-	// durability tier.
+	// CacheSize bounds the in-memory LRU of decoded artefacts
+	// (default 64; minimum 1). Disk retention is unbounded unless Prune is
+	// called — artefacts are a few hundred kilobytes at paper scale and
+	// the store is the durability tier.
 	CacheSize int
 }
 
@@ -73,61 +72,32 @@ type Stats struct {
 	Evictions uint64
 }
 
-// Store is a disk-backed plan registry with an in-memory LRU. All methods
-// are safe for concurrent use.
+// fingerprint is the single hash-to-ID encoding every namespace keys by,
+// shared with core.Plan.Fingerprint so plan IDs agree across layers.
+func fingerprint(raw []byte) string { return core.FingerprintBytes(raw) }
+
+// Store is the plan namespace: a disk-backed registry of repair plans at
+// the store root. All methods are safe for concurrent use.
 type Store struct {
-	dir  string
-	opts Options
-
-	mu    sync.Mutex
-	cache map[string]*list.Element // fingerprint -> lru element
-	lru   *list.List               // front = most recent; values are *cacheEntry
-	stats Stats
+	a *Artefacts
 }
 
-type cacheEntry struct {
-	id   string
-	plan *core.Plan
-}
-
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a plan store rooted at dir.
 func Open(dir string, opts Options) (*Store, error) {
-	if dir == "" {
-		return nil, errors.New("planstore: empty directory")
+	a, err := OpenArtefacts(dir, "plan", func(raw []byte) (any, error) {
+		return core.ReadPlan(bytes.NewReader(raw))
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("planstore: creating %s: %w", dir, err)
-	}
-	return &Store{
-		dir:   dir,
-		opts:  opts.withDefaults(),
-		cache: make(map[string]*list.Element),
-		lru:   list.New(),
-	}, nil
+	return &Store{a: a}, nil
 }
 
 // Dir reports the store's root directory.
-func (st *Store) Dir() string { return st.dir }
+func (st *Store) Dir() string { return st.a.Dir() }
 
-// validID reports whether id is a well-formed fingerprint — 32 lowercase
-// hex characters. Everything else is rejected before touching the
-// filesystem, which is also what keeps request-supplied IDs from escaping
-// the store directory.
-func validID(id string) bool {
-	if len(id) != 32 {
-		return false
-	}
-	for _, c := range id {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
-}
-
-func (st *Store) path(id string) string {
-	return filepath.Join(st.dir, id+".json")
-}
+// CacheCap reports the in-memory LRU capacity.
+func (st *Store) CacheCap() int { return st.a.CacheCap() }
 
 // Put persists a plan, returning its content fingerprint and whether this
 // call created the entry. Storing content the store already holds is a
@@ -141,166 +111,37 @@ func (st *Store) Put(plan *core.Plan) (id string, created bool, err error) {
 	if err != nil {
 		return "", false, err
 	}
-	id = core.FingerprintBytes(raw)
-	path := st.path(id)
-	if _, err := os.Stat(path); err == nil {
-		// Content-addressed: an existing file with this name holds these
-		// bytes already (or a corruption Load will catch loudly).
-		st.mu.Lock()
-		st.stats.DupPuts++
-		st.touch(id, plan)
-		st.mu.Unlock()
-		return id, false, nil
-	}
-	// Same-directory temp file + rename: the live name either does not
-	// exist or holds the complete bytes, never a torn write.
-	tmp, err := os.CreateTemp(st.dir, id+".tmp-*")
-	if err != nil {
-		return "", false, fmt.Errorf("planstore: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: writing %s: %w", id, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: syncing %s: %w", id, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: closing %s: %w", id, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: committing %s: %w", id, err)
-	}
-	st.mu.Lock()
-	st.stats.Puts++
-	st.touch(id, plan)
-	st.mu.Unlock()
-	return id, true, nil
+	return st.a.PutBytes(raw, plan)
 }
 
 // Get returns the plan with the given fingerprint, from memory when hot,
 // from disk otherwise. The returned plan is shared and must be treated
 // read-only (plans are immutable everywhere in this repository).
 func (st *Store) Get(id string) (*core.Plan, error) {
-	if !validID(id) {
-		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
-	}
-	st.mu.Lock()
-	if el, ok := st.cache[id]; ok {
-		st.lru.MoveToFront(el)
-		st.stats.MemHits++
-		plan := el.Value.(*cacheEntry).plan
-		st.mu.Unlock()
-		return plan, nil
-	}
-	st.mu.Unlock()
-
-	raw, err := os.ReadFile(st.path(id))
-	if errors.Is(err, os.ErrNotExist) {
-		st.mu.Lock()
-		st.stats.Misses++
-		st.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
-	}
+	v, err := st.a.Get(id)
 	if err != nil {
-		return nil, fmt.Errorf("planstore: opening %s: %w", id, err)
+		return nil, err
 	}
-	// Enforce content addressing on the read path too: ReadPlan validates
-	// structure, not identity, so a file renamed or restored under the
-	// wrong name would otherwise serve the wrong transport maps under this
-	// fingerprint.
-	if got := core.FingerprintBytes(raw); got != id {
-		return nil, fmt.Errorf("planstore: plan %s: content fingerprint is %s (file corrupted or misnamed)", id, got)
-	}
-	plan, err := core.ReadPlan(bytes.NewReader(raw))
-	if err != nil {
-		return nil, fmt.Errorf("planstore: plan %s: %w", id, err)
-	}
-	st.mu.Lock()
-	st.stats.DiskHits++
-	st.touch(id, plan)
-	st.mu.Unlock()
-	return plan, nil
+	return v.(*core.Plan), nil
 }
 
 // Has reports whether the fingerprint exists in memory or on disk, without
 // deserializing.
-func (st *Store) Has(id string) bool {
-	if !validID(id) {
-		return false
-	}
-	st.mu.Lock()
-	_, hot := st.cache[id]
-	st.mu.Unlock()
-	if hot {
-		return true
-	}
-	_, err := os.Stat(st.path(id))
-	return err == nil
-}
+func (st *Store) Has(id string) bool { return st.a.Has(id) }
 
 // Delete removes a plan from memory and disk. Deleting an absent plan is a
 // no-op.
-func (st *Store) Delete(id string) error {
-	if !validID(id) {
-		return fmt.Errorf("%w: %q", ErrBadID, id)
-	}
-	st.mu.Lock()
-	if el, ok := st.cache[id]; ok {
-		st.lru.Remove(el)
-		delete(st.cache, id)
-	}
-	st.mu.Unlock()
-	if err := os.Remove(st.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("planstore: deleting %s: %w", id, err)
-	}
-	return nil
-}
+func (st *Store) Delete(id string) error { return st.a.Delete(id) }
 
-// IDs lists every fingerprint persisted on disk, in directory order.
+// IDs lists every plan fingerprint persisted on disk, in directory order.
 // Temp files from in-flight or crashed writes are excluded.
-func (st *Store) IDs() ([]string, error) {
-	entries, err := os.ReadDir(st.dir)
-	if err != nil {
-		return nil, fmt.Errorf("planstore: listing %s: %w", st.dir, err)
-	}
-	var ids []string
-	for _, e := range entries {
-		name := e.Name()
-		id, ok := strings.CutSuffix(name, ".json")
-		if !ok || !validID(id) {
-			continue
-		}
-		ids = append(ids, id)
-	}
-	return ids, nil
-}
+func (st *Store) IDs() ([]string, error) { return st.a.IDs() }
+
+// Prune removes every plan older than maxAge from disk and memory,
+// together with abandoned temp files; see Artefacts.Prune for why content
+// addressing makes TTL retention safe. It returns the number of plans
+// removed.
+func (st *Store) Prune(maxAge time.Duration) (int, error) { return st.a.Prune(maxAge) }
 
 // Stats returns a snapshot of the cumulative counters.
-func (st *Store) Stats() Stats {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.stats
-}
-
-// touch inserts or refreshes an LRU entry; caller holds st.mu.
-func (st *Store) touch(id string, plan *core.Plan) {
-	if el, ok := st.cache[id]; ok {
-		st.lru.MoveToFront(el)
-		el.Value.(*cacheEntry).plan = plan
-		return
-	}
-	st.cache[id] = st.lru.PushFront(&cacheEntry{id: id, plan: plan})
-	for st.lru.Len() > st.opts.CacheSize {
-		back := st.lru.Back()
-		st.lru.Remove(back)
-		delete(st.cache, back.Value.(*cacheEntry).id)
-		st.stats.Evictions++
-	}
-}
+func (st *Store) Stats() Stats { return st.a.Stats() }

@@ -93,6 +93,11 @@ func NewEngine(plan *core.Plan, opts Options) (*Engine, error) {
 // Plan returns the bound plan.
 func (e *Engine) Plan() *core.Plan { return e.plan }
 
+// Sampler returns the precomputed (immutable) alias-table state, so other
+// engines over the same plan — the blind serving layer binds one per
+// calibration — can share it instead of rebuilding.
+func (e *Engine) Sampler() *core.PlanSampler { return e.sampler }
+
 // withWorkers derives an engine with a different fan-out over the same
 // plan and precomputed sampler — the per-request ?workers= override path,
 // which must not rebuild the alias tables. Counters start at zero; the
@@ -213,9 +218,7 @@ func (e *Engine) repairStreamChunked(r *rng.RNG, in dataset.Stream, sink func(da
 			if err != nil {
 				return total, diag, err
 			}
-			diag.Repaired += d.Repaired
-			diag.Clamped += d.Clamped
-			diag.EmptyRowFallbacks += d.EmptyRowFallbacks
+			diag.Merge(d)
 			for i := range chunk {
 				if err := sink(repaired[i]); err != nil {
 					return total, diag, err
@@ -270,9 +273,7 @@ func (e *Engine) repairChunk(r *rng.RNG, chunkIdx uint64, workers int, chunk, ou
 		}
 	}
 	for _, d := range diags {
-		diag.Repaired += d.Repaired
-		diag.Clamped += d.Clamped
-		diag.EmptyRowFallbacks += d.EmptyRowFallbacks
+		diag.Merge(d)
 	}
 	return diag, nil
 }

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync"
 
+	"otfair/internal/blind"
+	"otfair/internal/blindsvc"
 	"otfair/internal/core"
 	"otfair/internal/dataset"
 	"otfair/internal/fairmetrics"
@@ -45,6 +47,16 @@ type ServerOptions struct {
 	// recent alarms reset if the plan is bound again — the durable tier is
 	// the store, not the serving state).
 	MaxBoundPlans int
+	// CalibrationCacheSize bounds the calibration store's in-memory LRU
+	// (default: the planstore default). cmd/fairserved wires -cache here
+	// so both artefact tiers size together.
+	CalibrationCacheSize int
+	// MaxBoundCalibrations bounds the blind engines bound per plan
+	// (default 8). Each holds the pooled plan's alias tables, so without a
+	// cap a stream of novel calibrations against one hot plan would grow
+	// memory without limit; the least-recently-used engine is evicted and
+	// rebinds transparently on the next touch.
+	MaxBoundCalibrations int
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -59,6 +71,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.MaxBoundPlans <= 0 {
 		o.MaxBoundPlans = 64
+	}
+	if o.MaxBoundCalibrations <= 0 {
+		o.MaxBoundCalibrations = 8
 	}
 	return o
 }
@@ -77,6 +92,10 @@ func errStatus(err error) int {
 	return errStatusOr(err, http.StatusInternalServerError)
 }
 
+// errCalibrationMismatch marks a plan/calibration pairing the client got
+// wrong — a conflict between two valid artefacts, not a server fault.
+var errCalibrationMismatch = errors.New("repairsvc: calibration/plan mismatch")
+
 // errStatusOr is errStatus with a caller-chosen fallback for errors the
 // mapping does not recognize.
 func errStatusOr(err error, fallback int) int {
@@ -88,6 +107,8 @@ func errStatusOr(err error, fallback int) int {
 		return http.StatusNotFound
 	case errors.Is(err, planstore.ErrBadID):
 		return http.StatusBadRequest
+	case errors.Is(err, errCalibrationMismatch):
+		return http.StatusConflict
 	default:
 		return fallback
 	}
@@ -95,17 +116,25 @@ func errStatusOr(err error, fallback int) int {
 
 // Server exposes plan design, storage, repair and metrics over HTTP:
 //
-//	POST /v1/plans        design (text/csv research body) or upload (JSON)
-//	GET  /v1/plans        list stored plan fingerprints
-//	GET  /v1/plans/{id}   download one plan (canonical JSON)
-//	POST /v1/repair       repair a CSV or NDJSON record stream
-//	GET  /v1/metrics      serving counters, drift and E per plan
-//	GET  /healthz         liveness
+//	POST /v1/plans               design (text/csv research body) or upload (JSON)
+//	GET  /v1/plans               list stored plan fingerprints
+//	GET  /v1/plans/{id}          download one plan (canonical JSON)
+//	POST /v1/calibrations        fit a blind calibration (text/csv research
+//	                             body, ?plan=<id>) or upload one (JSON)
+//	GET  /v1/calibrations        list stored calibration fingerprints
+//	GET  /v1/calibrations/{id}   download one calibration (canonical JSON)
+//	POST /v1/repair              repair a CSV or NDJSON record stream; with
+//	                             ?calibration=<id> the stream may carry no
+//	                             s labels (blind repair)
+//	GET  /v1/metrics             serving counters, drift and E per plan,
+//	                             plus per-calibration blind telemetry
+//	GET  /healthz                liveness
 //
 // It is an http.Handler; wrap it in an http.Server for timeouts and
 // graceful shutdown (cmd/fairserved does).
 type Server struct {
 	store *planstore.Store
+	cals  *planstore.CalibrationStore
 	opts  ServerOptions
 	mux   *http.ServeMux
 
@@ -116,7 +145,8 @@ type Server struct {
 
 // planState is the per-plan serving state: the bound engine plus the
 // observability side (drift monitor and rolling metric windows, both fed
-// serially from the repair sink path under mu).
+// serially from the repair sink path under mu) and the blind engines bound
+// per calibration, all sharing the labelled engine's sampler.
 type planState struct {
 	engine *Engine
 	// lastUsed is the Server.clock value of the most recent touch,
@@ -129,6 +159,14 @@ type planState struct {
 	alarmsTotal int64
 	original    *recordWindow
 	repaired    *recordWindow
+	blind       map[string]*blindEntry // calibration id -> bound engine
+	blindClock  uint64                 // monotone LRU clock for blind, guarded by mu
+}
+
+// blindEntry tracks one bound blind engine with its LRU recency.
+type blindEntry struct {
+	engine   *blindsvc.Engine
+	lastUsed uint64
 }
 
 // recordWindow is a fixed-capacity ring of labelled records.
@@ -176,13 +214,20 @@ func (w *recordWindow) table() *dataset.Table {
 	return t
 }
 
-// NewServer builds the HTTP layer over a plan store.
+// NewServer builds the HTTP layer over a plan store. The calibration
+// namespace is opened under the same store root, so one directory
+// provisions both artefact tiers.
 func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("repairsvc: nil store")
 	}
+	cals, err := planstore.OpenCalibrations(store.Dir(), planstore.Options{CacheSize: opts.CalibrationCacheSize})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		store:  store,
+		cals:   cals,
 		opts:   opts.withDefaults(),
 		mux:    http.NewServeMux(),
 		states: make(map[string]*planState),
@@ -191,9 +236,56 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/plans", s.handlePlansPost)
 	s.mux.HandleFunc("GET /v1/plans", s.handlePlansList)
 	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
+	s.mux.HandleFunc("POST /v1/calibrations", s.handleCalibrationsPost)
+	s.mux.HandleFunc("GET /v1/calibrations", s.handleCalibrationsList)
+	s.mux.HandleFunc("GET /v1/calibrations/{id}", s.handleCalibrationGet)
 	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s, nil
+}
+
+// Calibrations exposes the calibration namespace the server serves from.
+func (s *Server) Calibrations() *planstore.CalibrationStore { return s.cals }
+
+// Prewarm loads persisted plans and calibrations from disk into the store
+// LRUs, so the first requests after a boot pay neither the read nor the
+// deserialization; cmd/fairserved runs it behind -prewarm. Each walk stops
+// at its namespace's LRU capacity — loading more would only evict what was
+// just warmed. An unreadable artefact is skipped, not fatal: a prewarm
+// boot must not be less available than a cold one, which would also have
+// served every healthy artefact and only errored the bad id on demand. It
+// returns the number of plans and calibrations warmed and of artefacts
+// skipped; err reports only listing failures.
+func (s *Server) Prewarm() (plans, cals, skipped int, err error) {
+	ids, err := s.store.IDs()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, id := range ids {
+		if plans >= s.store.CacheCap() {
+			break
+		}
+		if _, err := s.store.Get(id); err != nil {
+			skipped++
+			continue
+		}
+		plans++
+	}
+	calIDs, err := s.cals.IDs()
+	if err != nil {
+		return plans, 0, skipped, err
+	}
+	for _, id := range calIDs {
+		if cals >= s.cals.CacheCap() {
+			break
+		}
+		if _, err := s.cals.Get(id); err != nil {
+			skipped++
+			continue
+		}
+		cals++
+	}
+	return plans, cals, skipped, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -229,6 +321,7 @@ func (s *Server) state(id string) (*planState, error) {
 		mon:      mon,
 		original: newRecordWindow(plan.Dim, s.opts.MetricWindow),
 		repaired: newRecordWindow(plan.Dim, s.opts.MetricWindow),
+		blind:    make(map[string]*blindEntry),
 	}
 	s.mu.Lock()
 	if prior, ok := s.states[id]; ok {
@@ -414,39 +507,93 @@ func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
 // handleRepair streams records through the plan's engine: CSV or NDJSON in,
 // the same format out. Query parameters:
 //
-//	plan     required plan fingerprint
-//	seed     RNG seed (default 1); with workers=1 the output is
-//	         byte-identical to the in-process Repairer at the same seed
-//	workers  shard fan-out (default: server-wide setting)
-//	format   csv (default) or ndjson, for both directions
+//	plan         plan fingerprint (required unless calibration is given,
+//	             which implies its own plan)
+//	calibration  calibration fingerprint; switches to blind repair, so the
+//	             stream may carry records with no s label
+//	method       blind method (hard, draw, mix, pooled; default hard) —
+//	             only meaningful with calibration
+//	seed         RNG seed (default 1); with workers=1 the output is
+//	             byte-identical to the in-process (blind) Repairer at the
+//	             same seed
+//	workers      shard fan-out (default: server-wide setting)
+//	format       csv (default) or ndjson, for both directions
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	q := r.URL.Query()
 	id := q.Get("plan")
-	if id == "" {
+	calID := q.Get("calibration")
+	if id == "" && calID == "" {
 		httpError(w, http.StatusBadRequest, "missing plan parameter")
 		return
 	}
-	ps, err := s.state(id)
-	if err != nil {
-		httpError(w, errStatus(err), "%v", err)
-		return
+
+	workers := 0
+	if v := q.Get("workers"); v != "" {
+		n, werr := strconv.Atoi(v)
+		if werr != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		workers = n
 	}
+
+	// run abstracts over the labelled and blind engines: it repairs the
+	// stream and folds any derived-engine traffic back into the plan's
+	// primary counters.
+	var (
+		ps  *planState
+		run func(*rng.RNG, dataset.Stream, func(dataset.Record) error) (int, error)
+		err error
+	)
+	if calID == "" {
+		ps, err = s.state(id)
+		if err != nil {
+			httpError(w, errStatus(err), "%v", err)
+			return
+		}
+		engine := ps.engine
+		if workers > 0 {
+			engine = ps.engine.withWorkers(workers)
+		}
+		run = func(rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
+			n, diag, err := engine.RepairStream(rg, in, sink)
+			if engine != ps.engine {
+				ps.engine.account(n, diag)
+			}
+			return n, err
+		}
+	} else {
+		method, merr := blind.ParseMethod(q.Get("method"))
+		if merr != nil {
+			httpError(w, http.StatusBadRequest, "%v", merr)
+			return
+		}
+		var primary *blindsvc.Engine
+		ps, primary, err = s.blindState(id, calID)
+		if err != nil {
+			httpError(w, errStatus(err), "%v", err)
+			return
+		}
+		engine := primary
+		if workers > 0 {
+			engine = primary.WithWorkers(workers)
+		}
+		run = func(rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
+			n, st, diag, err := engine.RepairStream(rg, method, in, sink)
+			if engine != primary {
+				primary.Account(n, st, diag)
+			}
+			return n, err
+		}
+	}
+
 	seed := uint64(1)
 	if v := q.Get("seed"); v != "" {
 		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
 			httpError(w, http.StatusBadRequest, "bad seed %q", v)
 			return
 		}
-	}
-	engine := ps.engine
-	if v := q.Get("workers"); v != "" {
-		workers, werr := strconv.Atoi(v)
-		if werr != nil || workers < 1 {
-			httpError(w, http.StatusBadRequest, "bad workers %q", v)
-			return
-		}
-		engine = ps.engine.withWorkers(workers)
 	}
 
 	format := q.Get("format")
@@ -530,12 +677,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return sink(rec)
 	}
 
-	n, diag, err := engine.RepairStream(rng.New(seed), tapped, repairedSink)
-	if engine != ps.engine {
-		// Per-request worker overrides run on a derived engine; fold their
-		// traffic into the plan's cumulative counters.
-		ps.engine.account(n, diag)
-	}
+	n, err := run(rng.New(seed), tapped, repairedSink)
 	if err != nil {
 		if !tw.started {
 			// Nothing sent yet (e.g. dimension mismatch, bad first record):
@@ -659,8 +801,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"alarms_total":  alarmsTotal,
 			"recent":        recent,
 		},
-		"metric": metric,
-		"store":  s.store.Stats(),
+		"metric":            metric,
+		"blind":             blindMetrics(ps),
+		"store":             s.store.Stats(),
+		"calibration_store": s.cals.Stats(),
 		"design_cache": map[string]uint64{
 			"hits":   designHits,
 			"misses": designMisses,

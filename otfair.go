@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"otfair/internal/blind"
+	"otfair/internal/blindsvc"
 	"otfair/internal/contu"
 	"otfair/internal/core"
 	"otfair/internal/dataset"
@@ -280,6 +281,55 @@ func NewBlindRepairer(plan *Plan, research *Table, r *RNG, opts BlindOptions) (*
 // NewQDA fits the class-conditional Gaussian posterior Pr[s|x,u] on a fully
 // labelled research table.
 func NewQDA(research *Table) (*QDA, error) { return blind.NewQDA(research) }
+
+// Blind serving: the calibrated s-unlabelled half of the serving layer.
+// A Calibration — the fitted QDA posterior plus the pooled marginals on
+// the plan's grids — is a persisted artefact like the plan itself, and a
+// BlindBatchRepairer applies it at alias-table speed: both s-rows of every
+// plan cell precomputed, each draw mixed by the record's posterior.
+type (
+	// Calibration is the serializable fitted blind model, content-addressed
+	// next to its plan.
+	Calibration = blind.Calibration
+	// BlindStats counts blind deployment traffic (labels used, imputations,
+	// posterior confidence, the ambiguity histogram).
+	BlindStats = blind.Stats
+	// BlindBatchRepairer is the sharded batch/streaming engine for
+	// s-unlabelled archives, bound to one (plan, calibration) pair.
+	BlindBatchRepairer = blindsvc.Engine
+	// BlindBatchOptions configures a BlindBatchRepairer.
+	BlindBatchOptions = blindsvc.Options
+	// BlindBatchTotals are a blind engine's cumulative serving counters.
+	BlindBatchTotals = blindsvc.Totals
+	// CalibrationStore is the disk-backed calibration namespace of an
+	// artefact store, keyed by content fingerprint.
+	CalibrationStore = planstore.CalibrationStore
+)
+
+// NewCalibration fits a blind calibration on a labelled research table for
+// a designed plan: the QDA posterior, the pooled Eq.-(10) marginals and
+// the research-time confidence baseline.
+func NewCalibration(plan *Plan, research *Table) (*Calibration, error) {
+	return blind.NewCalibration(plan, research)
+}
+
+// ReadCalibration deserializes a calibration previously saved with
+// Calibration.WriteJSON, re-validating every component.
+func ReadCalibration(r io.Reader) (*Calibration, error) { return blind.ReadCalibration(r) }
+
+// NewBlindBatchRepairer binds a (plan, calibration) pair to a batched,
+// sharded blind repair engine. With one worker its output is byte-identical
+// to NewBlindRepairer at the same seed and method.
+func NewBlindBatchRepairer(plan *Plan, cal *Calibration, opts BlindBatchOptions) (*BlindBatchRepairer, error) {
+	return blindsvc.NewEngine(plan, cal, opts)
+}
+
+// OpenCalibrationStore opens (creating if needed) the calibration namespace
+// under an artefact store root — typically the same directory as the plan
+// store, so both tiers share one deployment volume.
+func OpenCalibrationStore(root string, opts PlanStoreOptions) (*CalibrationStore, error) {
+	return planstore.OpenCalibrations(root, opts)
+}
 
 // Joint (multivariate) repair: the non-feature-stratified variant that
 // preserves intra-feature correlation structure — the Section VI trade-off,
