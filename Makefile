@@ -11,9 +11,10 @@ BENCH_N ?= 1
 # uses a fixed experiment seed so runs are comparable across machines.
 ARTEFACTS = BenchmarkTable1$$|BenchmarkFigure3$$|BenchmarkFigure4$$|BenchmarkTable2$$
 # Serving-layer throughput (records/sec): alias-table engine, its
-# categorical-draw baseline, the fairserved HTTP round trip, and the
-# calibrated blind (s-unlabelled) engine.
-THROUGHPUT = BenchmarkRepairThroughput|BenchmarkServeRepairHTTP$$|BenchmarkBlindRepairThroughput
+# categorical-draw baseline, the fairserved HTTP round trip, the
+# calibrated blind (s-unlabelled) engine, and the batched QDA posterior
+# kernel under the blind path.
+THROUGHPUT = BenchmarkRepairThroughput|BenchmarkServeRepairHTTP$$|BenchmarkBlindRepairThroughput|BenchmarkBlindPosteriorBatch$$
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
@@ -32,11 +33,12 @@ test:
 verify: vet build test
 
 # Race-certify the concurrent paths (parallel Sinkhorn sweeps, design cache,
-# parallel repair, metric fan-out, plan store, serving layer).
+# parallel repair, metric fan-out, plan store, serving layer, and the shared
+# chunked-shard runner with its slow adversarial sink).
 race:
 	$(GO) test -race ./internal/ot/ ./internal/core/ ./internal/vec/ \
 		./internal/fairmetrics/ ./internal/planstore/ ./internal/repairsvc/ \
-		./internal/blindsvc/
+		./internal/blindsvc/ ./internal/shardrun/
 
 # Boot fairserved against synthetic data, repair through the full HTTP
 # round trip, and check byte-equivalence with the library path plus the E
@@ -44,9 +46,17 @@ race:
 serve-smoke:
 	$(GO) run ./cmd/fairserved -smoke
 
+# The artefact benches run whole-experiment iterations (~0.5 s/op), so two
+# are enough; the throughput benches are ~10 ms/op and need more iterations
+# for stable records/sec — especially the blind/labelled ratio the blind
+# serving work is tracked by. Each run lands in its own spool first so a
+# failing bench fails the target instead of being swallowed by the pipe;
+# benchjson then parses the concatenation.
 bench:
-	$(GO) test -run '^$$' -bench '$(ARTEFACTS)|$(THROUGHPUT)' -benchtime 2x -count 1 . \
-		| $(GO) run ./cmd/benchjson $(BASEFLAG) > BENCH_$(BENCH_N).json
+	@set -e; A=$$(mktemp); T=$$(mktemp); trap 'rm -f "$$A" "$$T"' EXIT; \
+	$(GO) test -run '^$$' -bench '$(ARTEFACTS)' -benchtime 2x -count 1 . > "$$A"; \
+	$(GO) test -run '^$$' -bench '$(THROUGHPUT)' -benchtime 20x -count 1 . > "$$T"; \
+	cat "$$A" "$$T" | $(GO) run ./cmd/benchjson $(BASEFLAG) > BENCH_$(BENCH_N).json
 	@cat BENCH_$(BENCH_N).json
 
 # Stage-level micro-benchmarks (design, repair, solvers, metric, kernels).

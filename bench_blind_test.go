@@ -56,3 +56,26 @@ func BenchmarkBlindRepairThroughputDrawSerial(b *testing.B) {
 func BenchmarkBlindRepairThroughputPooledSerial(b *testing.B) {
 	benchBlindRepair(b, otfair.BlindPooled, otfair.BlindBatchOptions{Workers: 1})
 }
+
+// BenchmarkBlindPosteriorBatch isolates the batched QDA posterior — the
+// vec-backed chunk evaluation (one blocked forward substitution per class,
+// row-wise softmax) that closed the blind/labelled serving gap. Compare
+// records/sec here against the engine benches above to see what fraction
+// of the blind draw path the posterior still costs.
+func BenchmarkBlindPosteriorBatch(b *testing.B) {
+	research, archive := benchSimData(b, 500, 20000)
+	qda, err := otfair.NewQDA(research)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp := qda.Batch()
+	recs := archive.DropS().Records()
+	dst := make([]float64, len(recs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bp.Posteriors(recs, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}

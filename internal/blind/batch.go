@@ -1,0 +1,141 @@
+package blind
+
+import (
+	"fmt"
+	"math"
+
+	"otfair/internal/dataset"
+	"otfair/internal/vec"
+)
+
+// batchBlock bounds the scratch a BatchPosterior holds: records are
+// processed in blocks of this many, so the centered right-hand-side matrix
+// stays cache-resident (batchBlock·d floats) no matter how large a chunk
+// the serving layer hands over.
+const batchBlock = 1024
+
+// BatchPosterior evaluates the fitted QDA posterior Pr[s = 1 | x, u] for
+// whole chunks of records at once — the serving fast path. Instead of two
+// log-density evaluations per record (each with its own stack scratch and
+// a math.Log of the prior), a block's records are gathered per u-group,
+// all four class log-likelihoods are computed with one blocked forward
+// substitution over each class's contiguous Cholesky factor
+// (vec.ForwardSubstQuad), and the posterior is a row-wise two-class
+// softmax (vec.Softmax2) with the log-priors folded in once per evaluator.
+//
+// Every arithmetic step keeps the scalar evaluation's operand order, so
+// Posteriors is bit-identical to calling QDA.Posterior record by record —
+// the property that lets the serving engines batch the posterior while
+// keeping their byte-identity pins to the scalar blind repairer. A
+// BatchPosterior owns growable scratch and is not safe for concurrent use;
+// create one per goroutine (shard).
+type BatchPosterior struct {
+	q *QDA
+	// logPrior[u][s] = log(Pr̂[s|u] + 1e-300), the per-record math.Log the
+	// scalar path pays twice per record, computed once here.
+	logPrior [2][2]float64
+
+	idx  []int     // record indices of the current u-group within a block
+	b    []float64 // gathered raw feature rows, batchBlock×d row-major
+	y    []float64 // substitution scratch, same shape as b
+	quad []float64 // quadratic forms for one class
+	l    [2][]float64
+	p    []float64
+}
+
+// Batch returns a batched evaluator over the fitted posterior.
+func (q *QDA) Batch() *BatchPosterior {
+	bp := &BatchPosterior{q: q}
+	for u := 0; u < 2; u++ {
+		for s := 0; s < 2; s++ {
+			bp.logPrior[u][s] = math.Log(q.prior[u][s] + 1e-300)
+		}
+	}
+	return bp
+}
+
+// grow resizes *buf to n, reusing capacity across calls.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// Posteriors fills dst[i] with Pr[s = 1 | recs[i]] for every record,
+// bit-identical to QDA.Posterior on each record alone (including the
+// revert-to-prior fallback when both class likelihoods underflow). All
+// records are validated up front, so a bad record fails the whole batch
+// before any work — the batch analogue of the scalar per-record errors.
+func (bp *BatchPosterior) Posteriors(recs []dataset.Record, dst []float64) error {
+	if len(dst) != len(recs) {
+		return fmt.Errorf("blind: posterior batch has %d outputs for %d records", len(dst), len(recs))
+	}
+	d := bp.q.dim
+	for i, rec := range recs {
+		if rec.U != 0 && rec.U != 1 {
+			return fmt.Errorf("blind: record %d: invalid u label %d", i, rec.U)
+		}
+		if len(rec.X) != d {
+			return fmt.Errorf("blind: record %d has %d features, want %d", i, len(rec.X), d)
+		}
+	}
+	for lo := 0; lo < len(recs); lo += batchBlock {
+		hi := lo + batchBlock
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		bp.block(recs[lo:hi], dst[lo:hi])
+	}
+	return nil
+}
+
+// block evaluates one block, grouping records by u so each (u, s) factor is
+// streamed once over its group's gathered right-hand sides.
+func (bp *BatchPosterior) block(recs []dataset.Record, dst []float64) {
+	q, d := bp.q, bp.q.dim
+	for u := 0; u < 2; u++ {
+		idx := bp.idx[:0]
+		for i, rec := range recs {
+			if rec.U == u {
+				idx = append(idx, i)
+			}
+		}
+		bp.idx = idx
+		nu := len(idx)
+		if nu == 0 {
+			continue
+		}
+		// One raw gather per u-group; both class factors then stream the
+		// same contiguous block (the kernel centers on the fly and leaves
+		// the block untouched).
+		b := grow(&bp.b, nu*d)
+		y := grow(&bp.y, nu*d)
+		quad := grow(&bp.quad, nu)
+		for j, i := range idx {
+			copy(b[j*d:j*d+d], recs[i].X)
+		}
+		for s := 0; s < 2; s++ {
+			g := q.comp[u][s]
+			vec.ForwardSubstQuad(g.chol, g.mean, d, b, y, quad)
+			l := grow(&bp.l[s], nu)
+			lp, ln := bp.logPrior[u][s], g.logNorm
+			for j, qf := range quad {
+				l[j] = lp + (ln - 0.5*qf)
+			}
+		}
+		p := grow(&bp.p, nu)
+		vec.Softmax2(p, bp.l[0], bp.l[1])
+		for j, i := range idx {
+			if math.IsNaN(p[j]) {
+				// Both class likelihoods underflowed (or the features were
+				// not finite): the data carries no information, so the
+				// posterior reverts to the prior — the scalar fallback.
+				dst[i] = q.prior[u][1]
+				continue
+			}
+			dst[i] = p[j]
+		}
+	}
+}

@@ -265,13 +265,79 @@ func (rp *Repairer) Diagnostics() core.Diagnostics { return rp.inner.Diagnostics
 // output record keeps the input's S field: the repair never pretends an
 // imputed label is an observation.
 func (rp *Repairer) RepairRecord(rec dataset.Record) (dataset.Record, error) {
+	out, done, err := rp.repairKnown(rec, nil)
+	if done || err != nil {
+		return out, err
+	}
+	gamma, err := rp.posterior(rec)
+	if err != nil {
+		return dataset.Record{}, fmt.Errorf("blind: posterior: %w", err)
+	}
+	return rp.repairImputed(rec, out, gamma)
+}
+
+// RepairRecordPosterior is RepairRecord with the posterior γ = Pr[s=1|x,u]
+// supplied by the caller instead of evaluated here — the serving fast path,
+// where BatchPosterior computes whole chunks of posteriors in one pass. It
+// consumes the repairer's RNG stream exactly like RepairRecord, so when
+// gamma equals what the repairer's own posterior would return the two are
+// byte-identical. Records that never consult a posterior — an observed s,
+// or the pooled method — ignore gamma entirely and behave exactly like
+// RepairRecord.
+func (rp *Repairer) RepairRecordPosterior(rec dataset.Record, gamma float64) (dataset.Record, error) {
+	out, done, err := rp.repairKnown(rec, nil)
+	if done || err != nil {
+		return out, err
+	}
+	return rp.repairImputed(rec, out, gamma)
+}
+
+// RepairBatch repairs a span of records under precomputed posteriors
+// (gammas[i] pairs with recs[i] and is ignored by records that never
+// consult a posterior), writing record i's repair to out[i]. It applies
+// RepairRecordPosterior's exact per-record sequence — same RNG
+// consumption, same stats accumulation order, so outputs are
+// byte-identical — but carves every output feature vector from one backing
+// allocation, which is what keeps the serving engines' span loop off the
+// per-record allocator. base offsets the record indices in error messages,
+// so a caller feeding spans of a larger stream reports absolute positions.
+func (rp *Repairer) RepairBatch(base int, recs []dataset.Record, gammas []float64, out []dataset.Record) error {
+	if len(gammas) != len(recs) || len(out) != len(recs) {
+		return errors.New("blind: batch length mismatch")
+	}
+	d := rp.dim
+	xs := make([]float64, len(recs)*d)
+	for i, rec := range recs {
+		o, done, err := rp.repairKnown(rec, xs[i*d:(i+1)*d:(i+1)*d])
+		if err != nil {
+			return fmt.Errorf("blind: record %d: %w", base+i, err)
+		}
+		if !done {
+			if o, err = rp.repairImputed(rec, o, gammas[i]); err != nil {
+				return fmt.Errorf("blind: record %d: %w", base+i, err)
+			}
+		}
+		out[i] = o
+	}
+	return nil
+}
+
+// repairKnown handles the posterior-free cases — validation, the pooled
+// transport, and records arriving with an observed label. done reports
+// that out is complete; otherwise the caller supplies a posterior and
+// finishes with repairImputed. x, when non-nil, is the caller-provided
+// backing for the output features (the batch path's bulk allocation).
+func (rp *Repairer) repairKnown(rec dataset.Record, x []float64) (out dataset.Record, done bool, err error) {
 	if rec.U != 0 && rec.U != 1 {
-		return dataset.Record{}, fmt.Errorf("blind: invalid u label %d", rec.U)
+		return dataset.Record{}, false, fmt.Errorf("blind: invalid u label %d", rec.U)
 	}
 	if len(rec.X) != rp.dim {
-		return dataset.Record{}, fmt.Errorf("blind: record has %d features, want %d", len(rec.X), rp.dim)
+		return dataset.Record{}, false, fmt.Errorf("blind: record has %d features, want %d", len(rec.X), rp.dim)
 	}
-	out := dataset.Record{X: make([]float64, len(rec.X)), S: rec.S, U: rec.U}
+	if x == nil {
+		x = make([]float64, len(rec.X))
+	}
+	out = dataset.Record{X: x, S: rec.S, U: rec.U}
 	rp.stats.Records++
 
 	if rp.method == MethodPooled {
@@ -279,11 +345,11 @@ func (rp *Repairer) RepairRecord(rec dataset.Record) (dataset.Record, error) {
 		for k, x := range rec.X {
 			v, err := rp.inner.RepairValue(rec.U, 0, k, x)
 			if err != nil {
-				return dataset.Record{}, err
+				return dataset.Record{}, true, err
 			}
 			out.X[k] = v
 		}
-		return out, nil
+		return out, true, nil
 	}
 
 	// Hard / draw / mix: a record that arrives with an observed label needs
@@ -293,17 +359,19 @@ func (rp *Repairer) RepairRecord(rec dataset.Record) (dataset.Record, error) {
 		for k, x := range rec.X {
 			v, err := rp.inner.RepairValue(rec.U, rec.S, k, x)
 			if err != nil {
-				return dataset.Record{}, err
+				return dataset.Record{}, true, err
 			}
 			out.X[k] = v
 		}
-		return out, nil
+		return out, true, nil
 	}
+	return out, false, nil
+}
 
-	gamma, err := rp.posterior(rec)
-	if err != nil {
-		return dataset.Record{}, fmt.Errorf("blind: posterior: %w", err)
-	}
+// repairImputed finishes an unlabelled record under posterior gamma,
+// accounting the imputation telemetry exactly like the inline path always
+// did.
+func (rp *Repairer) repairImputed(rec, out dataset.Record, gamma float64) (dataset.Record, error) {
 	// NaN passes both comparisons below and would index the ambiguity
 	// histogram with int(NaN); reject it explicitly.
 	if math.IsNaN(gamma) || gamma < 0 || gamma > 1 {

@@ -23,41 +23,56 @@
 //     than the worker count, like core.RepairTableParallel); streams are
 //     repaired in chunks with per-(chunk, shard) streams, reproducible for
 //     a fixed (seed, workers, chunk size) regardless of scheduling.
+//
+// The shard/chunk machinery is internal/shardrun's, shared with the
+// labelled engine (repairsvc). On top of it the blind hot path batches the
+// QDA posterior: blind.BatchPosterior evaluates a whole span's posteriors
+// on vec kernels — bit-identical to the scalar per-record evaluation, so
+// every byte contract above is preserved — and blind.RepairBatch finishes
+// the span without per-record allocation.
 package blindsvc
 
 import (
 	"errors"
 	"fmt"
-	"io"
-	"runtime"
 	"sync"
 
 	"otfair/internal/blind"
 	"otfair/internal/core"
 	"otfair/internal/dataset"
 	"otfair/internal/rng"
+	"otfair/internal/shardrun"
 )
 
 // Options configures an Engine.
 type Options struct {
 	// Workers is the shard fan-out (0 = GOMAXPROCS, 1 = the serial
-	// byte-compatible mode).
+	// byte-compatible mode). Negative values are rejected with a
+	// *shardrun.OptionError.
 	Workers int
 	// ChunkSize is the number of records repaired per parallel wave in
-	// streaming mode (default 4096).
+	// streaming mode (0 = shardrun.DefaultChunkSize). Negative values are
+	// rejected with a *shardrun.OptionError.
 	ChunkSize int
 	// Repair is passed through to every shard repairer.
 	Repair core.RepairOptions
 }
 
-func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+// withDefaults validates and defaults the sharding knobs through
+// shardrun.Options — the same path repairsvc.Options takes, so the two
+// engines can no longer drift in how they treat nonsensical values.
+func (o Options) withDefaults() (Options, error) {
+	so, err := shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize}.WithDefaults()
+	if err != nil {
+		return o, err
 	}
-	if o.ChunkSize <= 0 {
-		o.ChunkSize = 4096
-	}
-	return o
+	o.Workers, o.ChunkSize = so.Workers, so.ChunkSize
+	return o, nil
+}
+
+// shard returns the (validated) shardrun view of the options.
+func (o Options) shard() shardrun.Options {
+	return shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize}
 }
 
 // Totals are the engine's cumulative serving counters across all requests
@@ -130,6 +145,12 @@ func NewEngineShared(plan *core.Plan, cal *blind.Calibration, labelled *core.Pla
 	if labelled == nil {
 		return nil, errors.New("blindsvc: nil labelled sampler")
 	}
+	// Validate the cheap knobs before the expensive binds: a bad option
+	// must not cost a plan fingerprint and a pooled alias-table build.
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	planID, err := plan.Fingerprint()
 	if err != nil {
 		return nil, err
@@ -149,7 +170,7 @@ func NewEngineShared(plan *core.Plan, cal *blind.Calibration, labelled *core.Pla
 		plan: plan,
 		cal:  cal,
 		smp:  blind.Samplers{Labelled: labelled, Pooled: pooled},
-		opts: opts.withDefaults(),
+		opts: opts,
 	}, nil
 }
 
@@ -163,10 +184,14 @@ func (e *Engine) Calibration() *blind.Calibration { return e.cal }
 // plan, calibration and precomputed samplers — the per-request ?workers=
 // override path, which must not rebuild any alias table. Counters start at
 // zero; the caller folds them back into the primary engine via Account.
-func (e *Engine) WithWorkers(workers int) *Engine {
+func (e *Engine) WithWorkers(workers int) (*Engine, error) {
 	opts := e.opts
 	opts.Workers = workers
-	return &Engine{plan: e.plan, cal: e.cal, smp: e.smp, opts: opts.withDefaults()}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{plan: e.plan, cal: e.cal, smp: e.smp, opts: opts}, nil
 }
 
 // Totals returns a snapshot of the cumulative counters.
@@ -200,11 +225,88 @@ func (e *Engine) repairer(r *rng.RNG, method blind.Method) (*blind.Repairer, err
 	return blind.NewCalibrated(e.cal, e.smp, r, blind.Options{Method: method, Repair: e.opts.Repair})
 }
 
+// batch returns the per-shard batched posterior evaluator for a method, or
+// nil for methods that never consult a posterior. The batch output is
+// bit-identical to the scalar posterior the shard repairer would evaluate
+// (blind.BatchPosterior's contract), which is what keeps the engine's
+// byte-identity pins intact while the posterior runs vectorized.
+func (e *Engine) batch(method blind.Method) *blind.BatchPosterior {
+	if method == blind.MethodPooled {
+		return nil
+	}
+	return e.cal.QDA().Batch()
+}
+
+// repairSpan repairs records[lo:hi] into out[lo:hi] with one shard's
+// repairer. For posterior methods the span's posteriors are evaluated in
+// blocks by bp first — the vec-batched QDA fast path — and each record is
+// finished with RepairRecordPosterior, which consumes the RNG stream
+// exactly like the scalar per-record path.
+func repairSpan(rp *blind.Repairer, bp *blind.BatchPosterior, records, out []dataset.Record, lo, hi int) error {
+	if bp == nil {
+		for i := lo; i < hi; i++ {
+			rec, err := rp.RepairRecord(records[i])
+			if err != nil {
+				return fmt.Errorf("blindsvc: record %d: %w", i, err)
+			}
+			out[i] = rec
+		}
+		return nil
+	}
+	const span = 1024
+	var gammas [span]float64
+	for blo := lo; blo < hi; blo += span {
+		bhi := blo + span
+		if bhi > hi {
+			bhi = hi
+		}
+		recs := records[blo:bhi]
+		// Like the scalar path, only unlabelled records consult the
+		// posterior: a mostly-labelled archive must not pay for discarded
+		// soft labels. All-unlabelled spans (the common blind case) batch
+		// directly; mixed spans gather the unlabelled subset and scatter
+		// the results back (labelled slots are ignored by RepairBatch).
+		unl := 0
+		for _, rec := range recs {
+			if rec.S == dataset.SUnknown {
+				unl++
+			}
+		}
+		if unl == len(recs) {
+			if err := bp.Posteriors(recs, gammas[:len(recs)]); err != nil {
+				return fmt.Errorf("blindsvc: posterior (span at %d): %w", blo, err)
+			}
+		} else if unl > 0 {
+			sub := make([]dataset.Record, 0, unl)
+			idx := make([]int, 0, unl)
+			for i, rec := range recs {
+				if rec.S == dataset.SUnknown {
+					sub = append(sub, rec)
+					idx = append(idx, i)
+				}
+			}
+			sg := make([]float64, unl)
+			if err := bp.Posteriors(sub, sg); err != nil {
+				return fmt.Errorf("blindsvc: posterior (span at %d): %w", blo, err)
+			}
+			for j, i := range idx {
+				gammas[i] = sg[j]
+			}
+		}
+		if err := rp.RepairBatch(blo, recs, gammas[:len(recs)], out[blo:bhi]); err != nil {
+			return fmt.Errorf("blindsvc: %w", err)
+		}
+	}
+	return nil
+}
+
 // RepairTable repairs a possibly unlabelled table with the given method.
 // With Workers == 1 it is byte-identical to blind.Repairer.RepairTable on
 // the same RNG; with Workers == w > 1 it shards contiguously on Split(w)
-// streams, clamped to a single Split(0) shard when the table is smaller
-// than the fan-out.
+// streams via shardrun.Table, clamped to a single Split(0) shard when the
+// table is smaller than the fan-out. All modes evaluate the QDA posterior
+// through the batched fast path, which is bit-identical to the scalar
+// posterior and so changes no output byte.
 func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) (*dataset.Table, blind.Stats, core.Diagnostics, error) {
 	var (
 		stats blind.Stats
@@ -219,77 +321,46 @@ func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) 
 	if t.Dim() != e.plan.Dim {
 		return nil, stats, diag, fmt.Errorf("blindsvc: table dimension %d does not match plan %d", t.Dim(), e.plan.Dim)
 	}
+	n := t.Len()
+	records := t.Records()
+	repaired := make([]dataset.Record, n)
+
 	if e.opts.Workers == 1 {
+		// Serial mode consumes the caller's stream directly (no Split).
 		rp, err := e.repairer(r, method)
 		if err != nil {
 			return nil, stats, diag, err
 		}
-		out, err := rp.RepairTable(t)
-		if err != nil {
+		if err := repairSpan(rp, e.batch(method), records, repaired, 0, n); err != nil {
 			return nil, stats, diag, err
 		}
 		stats, diag = rp.Stats(), rp.Diagnostics()
-		e.Account(t.Len(), stats, diag)
-		return out, stats, diag, nil
-	}
-
-	workers := e.opts.Workers
-	n := t.Len()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		rp, err := e.repairer(r.Split(0), method)
-		if err != nil {
-			return nil, stats, diag, err
-		}
-		out, err := rp.RepairTable(t)
-		if err != nil {
-			return nil, stats, diag, err
-		}
-		stats, diag = rp.Stats(), rp.Diagnostics()
-		e.Account(t.Len(), stats, diag)
-		return out, stats, diag, nil
-	}
-
-	repaired := make([]dataset.Record, n)
-	allStats := make([]blind.Stats, workers)
-	diags := make([]core.Diagnostics, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			rp, err := e.repairer(r.Split(uint64(w)), method)
+	} else {
+		workers := e.opts.Workers
+		// Sized by the table, not the requested fan-out (see shardrun.Slots).
+		slots := shardrun.Slots(workers, n)
+		allStats := make([]blind.Stats, slots)
+		diags := make([]core.Diagnostics, slots)
+		err := shardrun.Table(r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
+			rp, err := e.repairer(rr, method)
 			if err != nil {
-				errs[w] = err
-				return
+				return err
 			}
-			for i := lo; i < hi; i++ {
-				rec, err := rp.RepairRecord(t.At(i))
-				if err != nil {
-					errs[w] = fmt.Errorf("blindsvc: record %d: %w", i, err)
-					return
-				}
-				repaired[i] = rec
+			if err := repairSpan(rp, e.batch(method), records, repaired, lo, hi); err != nil {
+				return err
 			}
-			allStats[w] = rp.Stats()
-			diags[w] = rp.Diagnostics()
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+			allStats[w], diags[w] = rp.Stats(), rp.Diagnostics()
+			return nil
+		})
 		if err != nil {
 			return nil, stats, diag, err
 		}
+		for w := 0; w < slots; w++ {
+			stats.Merge(allStats[w])
+			diag.Merge(diags[w])
+		}
 	}
-	for w := 0; w < workers; w++ {
-		stats.Merge(allStats[w])
-		diag.Merge(diags[w])
-	}
+
 	out, err := dataset.NewTable(t.Dim(), t.Names())
 	if err != nil {
 		return nil, stats, diag, err
@@ -308,6 +379,14 @@ func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) 
 // across per-(chunk, shard) split streams, holding at most one chunk in
 // memory. The sink always runs serially, in order, from the calling
 // goroutine.
+//
+// Only the chunked mode takes the batched-posterior fast path: the serial
+// mode deliberately keeps the scalar per-record loop, because its contract
+// is per-record sinking — each repaired record reaches the sink before the
+// next is read, and a mid-stream failure leaves every earlier record
+// delivered. Batching would hold records back per span, changing latency
+// and the error-path output the serve tests pin. Serial *table* repair has
+// no such contract and does use the fast path.
 func (e *Engine) RepairStream(r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (int, blind.Stats, core.Diagnostics, error) {
 	var (
 		stats blind.Stats
@@ -335,96 +414,53 @@ func (e *Engine) RepairStream(r *rng.RNG, method blind.Method, in dataset.Stream
 	return e.repairStreamChunked(r, method, in, sink)
 }
 
-// repairStreamChunked is the parallel streaming body; emitted traffic is
-// accounted on every exit path, matching the serial mode.
+// repairStreamChunked is the parallel streaming body, delegated to
+// shardrun.Stream (per-(chunk, shard) split streams, bounded memory, serial
+// sink) with the batched posterior fast path inside each shard; emitted
+// traffic is accounted on every exit path, matching the serial mode.
 func (e *Engine) repairStreamChunked(r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (total int, stats blind.Stats, diag core.Diagnostics, err error) {
 	defer func() { e.Account(total, stats, diag) }()
-	workers := e.opts.Workers
-	chunk := make([]dataset.Record, 0, e.opts.ChunkSize)
-	repaired := make([]dataset.Record, e.opts.ChunkSize)
-	chunkIdx := uint64(0)
-	for {
-		chunk = chunk[:0]
-		var streamErr error
-		for len(chunk) < e.opts.ChunkSize {
-			rec, err := in.Next()
-			if err == io.EOF {
-				streamErr = io.EOF
-				break
-			}
+	// A chunk never uses more shards than it has records, so per-shard
+	// state is sized by min(Workers, ChunkSize) — a request-supplied
+	// fan-out of a billion must not balloon the allocation.
+	slots := shardrun.Slots(e.opts.Workers, e.opts.ChunkSize)
+	allStats := make([]blind.Stats, slots)
+	diags := make([]core.Diagnostics, slots)
+	// One batch evaluator per shard slot, reused across chunks so its
+	// gather/solve scratch stays warm for the whole stream (slot w is only
+	// ever touched by chunk-c shard w, and chunks run sequentially).
+	batches := make([]*blind.BatchPosterior, slots)
+	err = shardrun.Stream(r, e.opts.shard(), in.Next,
+		func(_ uint64, w int, rr *rng.RNG, chunk, out []dataset.Record, lo, hi int) error {
+			rp, err := e.repairer(rr, method)
 			if err != nil {
-				return total, stats, diag, err
+				return err
 			}
-			chunk = append(chunk, rec)
-		}
-		if len(chunk) > 0 {
-			st, d, err := e.repairChunk(r, method, chunkIdx, workers, chunk, repaired)
-			if err != nil {
-				return total, stats, diag, err
+			if method != blind.MethodPooled && batches[w] == nil {
+				batches[w] = e.batch(method)
 			}
-			stats.Merge(st)
-			diag.Merge(d)
-			for i := range chunk {
-				if err := sink(repaired[i]); err != nil {
-					return total, stats, diag, err
+			if err := repairSpan(rp, batches[w], chunk, out, lo, hi); err != nil {
+				return err
+			}
+			allStats[w], diags[w] = rp.Stats(), rp.Diagnostics()
+			return nil
+		},
+		func(out []dataset.Record) error {
+			// Merge the chunk's per-shard counters in shard-index order so
+			// the floating-point confidence sums stay bit-stable, then sink
+			// serially in input order.
+			for w := range diags {
+				stats.Merge(allStats[w])
+				diag.Merge(diags[w])
+				allStats[w], diags[w] = blind.Stats{}, core.Diagnostics{}
+			}
+			for _, rec := range out {
+				if err := sink(rec); err != nil {
+					return err
 				}
 				total++
 			}
-			chunkIdx++
-		}
-		if streamErr == io.EOF {
-			return total, stats, diag, nil
-		}
-	}
-}
-
-// repairChunk repairs chunk records into out[:len(chunk)] across workers
-// contiguous shards with per-(chunk, shard) RNG streams.
-func (e *Engine) repairChunk(r *rng.RNG, method blind.Method, chunkIdx uint64, workers int, chunk, out []dataset.Record) (blind.Stats, core.Diagnostics, error) {
-	var (
-		stats blind.Stats
-		diag  core.Diagnostics
-	)
-	n := len(chunk)
-	if workers > n {
-		workers = n
-	}
-	allStats := make([]blind.Stats, workers)
-	diags := make([]core.Diagnostics, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			rp, err := e.repairer(r.Split(chunkIdx*uint64(e.opts.Workers)+uint64(w)), method)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			for i := lo; i < hi; i++ {
-				rec, err := rp.RepairRecord(chunk[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = rec
-			}
-			allStats[w] = rp.Stats()
-			diags[w] = rp.Diagnostics()
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats, diag, err
-		}
-	}
-	for w := 0; w < workers; w++ {
-		stats.Merge(allStats[w])
-		diag.Merge(diags[w])
-	}
-	return stats, diag, nil
+			return nil
+		})
+	return total, stats, diag, err
 }

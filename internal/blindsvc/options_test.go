@@ -1,0 +1,61 @@
+package blindsvc
+
+import (
+	"errors"
+	"testing"
+
+	"otfair/internal/blind"
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+	"otfair/internal/shardrun"
+)
+
+// TestEngineRejectsNegativeOptions mirrors repairsvc's: both engines share
+// shardrun.Options validation, so nonsensical values fail with the same
+// typed error instead of divergent silent clamps.
+func TestEngineRejectsNegativeOptions(t *testing.T) {
+	plan, cal, _, _ := testData(t, 40, 250, 10, 20)
+	for _, opts := range []Options{{Workers: -1}, {ChunkSize: -1}, {Workers: -3, ChunkSize: -4096}} {
+		_, err := NewEngine(plan, cal, opts)
+		var oe *shardrun.OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("NewEngine(%+v) = %v, want *shardrun.OptionError", opts, err)
+		}
+	}
+	if _, err := NewEngine(plan, cal, Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+	engine, err := NewEngine(plan, cal, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.WithWorkers(-2); err == nil {
+		t.Error("WithWorkers(-2) accepted")
+	}
+}
+
+// TestEngineAbsurdFanOutStaysCheap mirrors repairsvc's: per-shard state is
+// sized by the data (shardrun.Slots), so a billion-worker request cannot
+// balloon memory; repair still completes and stays deterministic.
+func TestEngineAbsurdFanOutStaysCheap(t *testing.T) {
+	plan, cal, _, unlabelled := testData(t, 41, 250, 64, 20)
+	engine, err := NewEngine(plan, cal, Options{Workers: 1 << 30, ChunkSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *dataset.Table {
+		out, _, _, err := engine.RepairTable(rng.New(2), blind.MethodDraw, unlabelled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := dataset.NewTable(unlabelled.Dim(), unlabelled.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := engine.RepairStream(rng.New(2), blind.MethodDraw, dataset.NewSliceStream(unlabelled), streamed.Append); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	tablesEqual(t, run(), run())
+}

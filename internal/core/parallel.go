@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"otfair/internal/dataset"
 	"otfair/internal/rng"
+	"otfair/internal/shardrun"
 )
 
 // RepairTableParallel repairs a table across workers goroutines
@@ -37,9 +37,9 @@ func RepairTableParallel(plan *Plan, r *rng.RNG, opts RepairOptions, t *dataset.
 // RepairTableParallelShared is RepairTableParallel over a caller-held
 // sampler, so serving layers binding many repair calls to one plan build
 // the draw tables exactly once. The sharding and per-shard Split streams
-// are identical to RepairTableParallel's — including the clamp to a single
-// Split(0) shard on tables smaller than the worker count — so the two are
-// byte-identical for the same inputs.
+// are shardrun.Table's — including the clamp to a single Split(0) shard on
+// tables smaller than the worker count, the rule this function
+// established — so the two are byte-identical for the same inputs.
 func RepairTableParallelShared(sampler *PlanSampler, r *rng.RNG, opts RepairOptions, t *dataset.Table, workers int) (*dataset.Table, Diagnostics, error) {
 	var diag Diagnostics
 	if sampler == nil {
@@ -58,49 +58,27 @@ func RepairTableParallelShared(sampler *PlanSampler, r *rng.RNG, opts RepairOpti
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := t.Len()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		rp, err := NewRepairerShared(sampler, r.Split(0), opts)
-		if err != nil {
-			return nil, diag, err
-		}
-		out, err := rp.RepairTable(t)
-		return out, rp.Diagnostics(), err
-	}
-
 	repaired := make([]dataset.Record, n)
-	diags := make([]Diagnostics, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			rp, err := NewRepairerShared(sampler, r.Split(uint64(w)), opts)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			for i := lo; i < hi; i++ {
-				rec, err := rp.RepairRecord(t.At(i))
-				if err != nil {
-					errs[w] = fmt.Errorf("core: record %d: %w", i, err)
-					return
-				}
-				repaired[i] = rec
-			}
-			diags[w] = rp.Diagnostics()
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	// Per-shard slots are bounded by the table, not the requested fan-out,
+	// so an absurd worker count cannot balloon the allocation.
+	diags := make([]Diagnostics, shardrun.Slots(workers, n))
+	err := shardrun.Table(r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
+		rp, err := NewRepairerShared(sampler, rr, opts)
 		if err != nil {
-			return nil, diag, err
+			return err
 		}
+		for i := lo; i < hi; i++ {
+			rec, err := rp.RepairRecord(t.At(i))
+			if err != nil {
+				return fmt.Errorf("core: record %d: %w", i, err)
+			}
+			repaired[i] = rec
+		}
+		diags[w] = rp.Diagnostics()
+		return nil
+	})
+	if err != nil {
+		return nil, diag, err
 	}
 	for _, d := range diags {
 		diag.Merge(d)

@@ -124,27 +124,38 @@ func (a *Artefacts) PutBytes(raw []byte, value any) (id string, created bool, er
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(raw); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: writing %s: %w", id, err)
+		return "", false, a.discardTemp(fmt.Errorf("planstore: writing %s: %w", id, err), tmpName)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: syncing %s: %w", id, err)
+		return "", false, a.discardTemp(fmt.Errorf("planstore: syncing %s: %w", id, err), tmpName)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: closing %s: %w", id, err)
+		return "", false, a.discardTemp(fmt.Errorf("planstore: closing %s: %w", id, err), tmpName)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return "", false, fmt.Errorf("planstore: committing %s: %w", id, err)
+		return "", false, a.discardTemp(fmt.Errorf("planstore: committing %s: %w", id, err), tmpName)
 	}
 	a.mu.Lock()
 	a.stats.Puts++
 	a.touch(id, value)
 	a.mu.Unlock()
 	return id, true, nil
+}
+
+// removeFile is os.Remove, injectable so tests can force removal failures.
+var removeFile = os.Remove
+
+// discardTemp removes an abandoned temp file after a failed write, joining
+// a removal failure into the returned error chain: on a full or read-only
+// disk the operator must see both that the write failed and that its spool
+// is still occupying space (TTL Prune will eventually collect it, but only
+// if someone runs Prune).
+func (a *Artefacts) discardTemp(writeErr error, tmpName string) error {
+	if rerr := removeFile(tmpName); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		return errors.Join(writeErr, fmt.Errorf("planstore: removing temp %s: %w", filepath.Base(tmpName), rerr))
+	}
+	return writeErr
 }
 
 // Get returns the artefact with the given fingerprint, from memory when
@@ -279,6 +290,12 @@ func (a *Artefacts) Prune(maxAge time.Duration) (removed int, err error) {
 			continue
 		}
 		if !info.ModTime().Before(cutoff) {
+			// Younger than the TTL: live artefacts are retained, and —
+			// critically — so are fresh .tmp- spools, whose atomic rename
+			// may still be in flight in a concurrent PutBytes. Deleting one
+			// would race the rename and fail the writer; only spools older
+			// than the TTL are provably abandoned (a crashed write can
+			// never be completed).
 			continue
 		}
 		id, isLive := strings.CutSuffix(name, ".json")
@@ -289,11 +306,10 @@ func (a *Artefacts) Prune(maxAge time.Duration) (removed int, err error) {
 			removed++
 			continue
 		}
-		// Stale temp file (or foreign debris) past the age cutoff: a write
-		// that crashed before its rename can never be completed, so the
+		// Stale temp file (or foreign debris) past the age cutoff: the
 		// spool is garbage.
 		if strings.Contains(name, ".tmp-") {
-			if rerr := os.Remove(filepath.Join(a.dir, name)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			if rerr := removeFile(filepath.Join(a.dir, name)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
 				return removed, fmt.Errorf("planstore: pruning %s: %w", name, rerr)
 			}
 		}

@@ -17,42 +17,53 @@
 //     r.Split(w), byte-identical to core.RepairTableParallel; streams are
 //     repaired in chunks with per-(chunk, shard) streams, reproducible for
 //     a fixed (seed, workers, chunk size) regardless of scheduling.
+//
+// The shard/chunk machinery itself — the split formulas, the clamp rule,
+// the serial drain — lives in internal/shardrun, shared with the blind
+// engine (blindsvc), so the determinism contract has exactly one owner.
 package repairsvc
 
 import (
 	"errors"
 	"fmt"
-	"io"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"otfair/internal/core"
 	"otfair/internal/dataset"
 	"otfair/internal/rng"
+	"otfair/internal/shardrun"
 )
 
 // Options configures an Engine.
 type Options struct {
 	// Workers is the shard fan-out (0 = GOMAXPROCS, 1 = the serial
-	// byte-compatible mode).
+	// byte-compatible mode). Negative values are rejected with a
+	// *shardrun.OptionError.
 	Workers int
 	// ChunkSize is the number of records repaired per parallel wave in
-	// streaming mode (default 4096). Larger chunks amortize fan-out
-	// overhead; smaller chunks bound latency and memory.
+	// streaming mode (0 = shardrun.DefaultChunkSize). Larger chunks
+	// amortize fan-out overhead; smaller chunks bound latency and memory.
+	// Negative values are rejected with a *shardrun.OptionError.
 	ChunkSize int
 	// Repair is passed through to every shard repairer.
 	Repair core.RepairOptions
 }
 
-func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+// withDefaults validates and defaults the sharding knobs through
+// shardrun.Options — one shared path for both serving engines, so the two
+// can no longer drift in how they treat nonsensical values.
+func (o Options) withDefaults() (Options, error) {
+	so, err := shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize}.WithDefaults()
+	if err != nil {
+		return o, err
 	}
-	if o.ChunkSize <= 0 {
-		o.ChunkSize = 4096
-	}
-	return o
+	o.Workers, o.ChunkSize = so.Workers, so.ChunkSize
+	return o, nil
+}
+
+// shard returns the (validated) shardrun view of the options.
+func (o Options) shard() shardrun.Options {
+	return shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize}
 }
 
 // Totals are the engine's cumulative serving counters, aggregated across
@@ -83,11 +94,15 @@ type Engine struct {
 
 // NewEngine precomputes the plan's alias tables and returns an engine.
 func NewEngine(plan *core.Plan, opts Options) (*Engine, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	sampler, err := core.NewPlanSampler(plan)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{plan: plan, sampler: sampler, opts: opts.withDefaults()}, nil
+	return &Engine{plan: plan, sampler: sampler, opts: opts}, nil
 }
 
 // Plan returns the bound plan.
@@ -102,10 +117,14 @@ func (e *Engine) Sampler() *core.PlanSampler { return e.sampler }
 // plan and precomputed sampler — the per-request ?workers= override path,
 // which must not rebuild the alias tables. Counters start at zero; the
 // caller folds them back into the primary engine via account.
-func (e *Engine) withWorkers(workers int) *Engine {
+func (e *Engine) withWorkers(workers int) (*Engine, error) {
 	opts := e.opts
 	opts.Workers = workers
-	return &Engine{plan: e.plan, sampler: e.sampler, opts: opts.withDefaults()}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{plan: e.plan, sampler: e.sampler, opts: opts}, nil
 }
 
 // Totals returns a snapshot of the cumulative counters.
@@ -191,89 +210,46 @@ func (e *Engine) RepairStream(r *rng.RNG, in dataset.Stream, sink func(dataset.R
 	return e.repairStreamChunked(r, in, sink)
 }
 
-// repairStreamChunked is the parallel streaming body; emitted traffic is
-// accounted on every exit path, matching the serial mode.
+// repairStreamChunked is the parallel streaming body, delegated to
+// shardrun.Stream (per-(chunk, shard) split streams, bounded memory, serial
+// sink); emitted traffic is accounted on every exit path, matching the
+// serial mode.
 func (e *Engine) repairStreamChunked(r *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (total int, diag core.Diagnostics, err error) {
 	defer func() { e.account(total, diag) }()
-	workers := e.opts.Workers
-	chunk := make([]dataset.Record, 0, e.opts.ChunkSize)
-	repaired := make([]dataset.Record, e.opts.ChunkSize)
-	chunkIdx := uint64(0)
-	for {
-		chunk = chunk[:0]
-		var streamErr error
-		for len(chunk) < e.opts.ChunkSize {
-			rec, err := in.Next()
-			if err == io.EOF {
-				streamErr = io.EOF
-				break
-			}
+	// A chunk never uses more shards than it has records, so per-shard
+	// state is sized by min(Workers, ChunkSize) — a request-supplied
+	// fan-out of a billion must not balloon the allocation.
+	diags := make([]core.Diagnostics, shardrun.Slots(e.opts.Workers, e.opts.ChunkSize))
+	err = shardrun.Stream(r, e.opts.shard(), in.Next,
+		func(_ uint64, w int, rr *rng.RNG, chunk, out []dataset.Record, lo, hi int) error {
+			rp, err := core.NewRepairerShared(e.sampler, rr, e.opts.Repair)
 			if err != nil {
-				return total, diag, err
-			}
-			chunk = append(chunk, rec)
-		}
-		if len(chunk) > 0 {
-			d, err := e.repairChunk(r, chunkIdx, workers, chunk, repaired)
-			if err != nil {
-				return total, diag, err
-			}
-			diag.Merge(d)
-			for i := range chunk {
-				if err := sink(repaired[i]); err != nil {
-					return total, diag, err
-				}
-				total++
-			}
-			chunkIdx++
-		}
-		if streamErr == io.EOF {
-			return total, diag, nil
-		}
-	}
-}
-
-// repairChunk repairs chunk records into out[:len(chunk)] across workers
-// contiguous shards with per-(chunk, shard) RNG streams.
-func (e *Engine) repairChunk(r *rng.RNG, chunkIdx uint64, workers int, chunk, out []dataset.Record) (core.Diagnostics, error) {
-	var diag core.Diagnostics
-	n := len(chunk)
-	if workers > n {
-		workers = n
-	}
-	diags := make([]core.Diagnostics, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			rp, err := core.NewRepairerShared(e.sampler, r.Split(chunkIdx*uint64(e.opts.Workers)+uint64(w)), e.opts.Repair)
-			if err != nil {
-				errs[w] = err
-				return
+				return err
 			}
 			for i := lo; i < hi; i++ {
 				rec, err := rp.RepairRecord(chunk[i])
 				if err != nil {
-					errs[w] = err
-					return
+					return err
 				}
 				out[i] = rec
 			}
 			diags[w] = rp.Diagnostics()
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return diag, err
-		}
-	}
-	for _, d := range diags {
-		diag.Merge(d)
-	}
-	return diag, nil
+			return nil
+		},
+		func(out []dataset.Record) error {
+			// Merge the chunk's per-shard diagnostics in shard-index order
+			// (bit-stable aggregation), then sink serially in input order.
+			for w := range diags {
+				diag.Merge(diags[w])
+				diags[w] = core.Diagnostics{}
+			}
+			for _, rec := range out {
+				if err := sink(rec); err != nil {
+					return err
+				}
+				total++
+			}
+			return nil
+		})
+	return total, diag, err
 }

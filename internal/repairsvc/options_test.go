@@ -1,0 +1,57 @@
+package repairsvc
+
+import (
+	"errors"
+	"testing"
+
+	"otfair/internal/dataset"
+	"otfair/internal/rng"
+	"otfair/internal/shardrun"
+)
+
+// TestEngineRejectsNegativeOptions: option validation now lives in
+// shardrun.Options.withDefaults — nonsensical values return a typed error
+// instead of being clamped silently (and the two serving engines can no
+// longer drift in how they treat them).
+func TestEngineRejectsNegativeOptions(t *testing.T) {
+	plan, _, _ := testData(t, 40, 250, 10, 20)
+	for _, opts := range []Options{{Workers: -1}, {ChunkSize: -1}, {Workers: -3, ChunkSize: -4096}} {
+		_, err := NewEngine(plan, opts)
+		var oe *shardrun.OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("NewEngine(%+v) = %v, want *shardrun.OptionError", opts, err)
+		}
+	}
+	// Zero still means "defaults".
+	if _, err := NewEngine(plan, Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+// TestEngineAbsurdFanOutStaysCheap: a request-supplied worker count far
+// beyond the data (the ?workers= path) must cost memory and goroutines
+// proportional to the records, not the number — per-shard state is sized
+// by shardrun.Slots. The repair itself must still complete and stay
+// deterministic.
+func TestEngineAbsurdFanOutStaysCheap(t *testing.T) {
+	plan, _, archive := testData(t, 41, 250, 64, 20)
+	engine, err := NewEngine(plan, Options{Workers: 1 << 30, ChunkSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *dataset.Table {
+		out, _, err := engine.RepairTable(rng.New(2), archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := dataset.NewTable(archive.Dim(), archive.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := engine.RepairStream(rng.New(2), dataset.NewSliceStream(archive), streamed.Append); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	tablesEqual(t, run(), run())
+}

@@ -554,7 +554,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		}
 		engine := ps.engine
 		if workers > 0 {
-			engine = ps.engine.withWorkers(workers)
+			if engine, err = ps.engine.withWorkers(workers); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
 		}
 		run = func(rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
 			n, diag, err := engine.RepairStream(rg, in, sink)
@@ -577,7 +580,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		}
 		engine := primary
 		if workers > 0 {
-			engine = primary.WithWorkers(workers)
+			if engine, err = primary.WithWorkers(workers); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
 		}
 		run = func(rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
 			n, st, diag, err := engine.RepairStream(rg, method, in, sink)
@@ -610,15 +616,12 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	// write, and half-duplex clients (curl) deadlock on true bidirectional
 	// streams anyway; a disk spool keeps memory O(1) in records while the
 	// response still streams out as repair progresses.
-	spool, err := os.CreateTemp("", "fairserved-repair-*")
+	spool, err := newBodySpool()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "spooling request: %v", err)
 		return
 	}
-	defer func() {
-		spool.Close()
-		os.Remove(spool.Name())
-	}()
+	defer spool.Close()
 	if _, err := io.Copy(spool, r.Body); err != nil {
 		httpError(w, errStatusOr(err, http.StatusBadRequest), "reading request: %v", err)
 		return
@@ -694,6 +697,41 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if err := finish(); err != nil {
 		return
 	}
+}
+
+// bodySpool is a request-body spool file whose directory entry is unlinked
+// the moment it is created: the open descriptor keeps the spooled bytes
+// readable for the duration of the request, while no failure mode — a
+// mid-copy read error, an early handler return, a panicking handler, even
+// a killed process — can leave the file behind on disk. On platforms that
+// cannot unlink an open file, Close removes it instead (covering every
+// in-process exit path; only a hard kill can then leak, as before).
+type bodySpool struct {
+	*os.File
+	unlinked bool
+}
+
+// newBodySpool creates an anonymous spool file in the temp directory.
+func newBodySpool() (*bodySpool, error) {
+	f, err := os.CreateTemp("", "fairserved-repair-*")
+	if err != nil {
+		return nil, err
+	}
+	sp := &bodySpool{File: f}
+	if err := os.Remove(f.Name()); err == nil {
+		sp.unlinked = true
+	}
+	return sp, nil
+}
+
+func (sp *bodySpool) Close() error {
+	err := sp.File.Close()
+	if !sp.unlinked {
+		if rerr := os.Remove(sp.Name()); rerr != nil && !errors.Is(rerr, os.ErrNotExist) && err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // trackedResponse records whether any header or byte has been written.

@@ -1,0 +1,169 @@
+package repairsvc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"otfair/internal/planstore"
+)
+
+// countSpools counts request-body spool files in the temp directory.
+func countSpools(t *testing.T) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "fairserved-repair-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// failingReader delivers some bytes, then fails mid-copy — a client that
+// died halfway through uploading its archive.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+// TestRepairSpoolNeverLeaks audits the repair-spool lifecycle: after forced
+// mid-copy failures, early handler returns past the spool point, mid-stream
+// repair aborts and plain successes, no spooled body file may remain on
+// disk. The spool is unlinked the moment it is created, so the invariant
+// holds at every instant, not just after handler exit.
+func TestRepairSpoolNeverLeaks(t *testing.T) {
+	// Isolate the temp dir so concurrent tests (or leftovers from other
+	// processes) cannot interfere with the count.
+	t.Setenv("TMPDIR", t.TempDir())
+
+	plan, _, archive := testData(t, 31, 250, 600, 30)
+	store, err := planstore.Open(t.TempDir(), planstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := store.Put(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small body cap lets one request force the mid-copy MaxBytesError
+	// path too.
+	srv, err := NewServer(store, ServerOptions{MaxBodyBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var archiveCSV bytes.Buffer
+	if err := archive.WriteCSV(&archiveCSV); err != nil {
+		t.Fatal(err)
+	}
+	csvBody := archiveCSV.Bytes()
+
+	cases := []struct {
+		name   string
+		target string
+		body   io.Reader
+		status int // 0 = panic (aborted connection) is acceptable
+	}{
+		{
+			name:   "mid-copy read failure",
+			target: "/v1/repair?plan=" + id + "&seed=1&workers=1",
+			body:   &failingReader{data: csvBody[:len(csvBody)/2], err: errors.New("client died")},
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "mid-copy body-cap overrun",
+			target: "/v1/repair?plan=" + id + "&seed=1",
+			body:   io.MultiReader(bytes.NewReader(csvBody), bytes.NewReader(make([]byte, 2<<20))),
+			status: http.StatusRequestEntityTooLarge,
+		},
+		{
+			name:   "early return after spool (unknown format)",
+			target: "/v1/repair?plan=" + id + "&seed=1&format=parquet",
+			body:   bytes.NewReader(csvBody),
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "mid-stream repair abort (malformed record)",
+			target: "/v1/repair?plan=" + id + "&seed=1&workers=1",
+			body:   strings.NewReader("s,u,x0,x1\n0,1,0.5,0.5\n0,9,0.5,0.5\n"),
+			status: 0,
+		},
+		{
+			name:   "success",
+			target: "/v1/repair?plan=" + id + "&seed=1&workers=1",
+			body:   bytes.NewReader(csvBody),
+			status: http.StatusOK,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodPost, tc.target, tc.body)
+			req.Header.Set("Content-Type", "text/csv")
+			rec := httptest.NewRecorder()
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						if p != http.ErrAbortHandler {
+							panic(p)
+						}
+						if tc.status != 0 {
+							t.Errorf("unexpected handler abort")
+						}
+					}
+				}()
+				srv.ServeHTTP(rec, req)
+				if tc.status != 0 && rec.Code != tc.status {
+					t.Errorf("status = %d, want %d (body %q)", rec.Code, tc.status, rec.Body.String())
+				}
+			}()
+			if n := countSpools(t); n != 0 {
+				t.Errorf("%d spool file(s) left on disk", n)
+			}
+		})
+	}
+}
+
+// TestBodySpoolUnlinkedImmediately pins the mechanism itself: the spool has
+// no directory entry from the moment it exists (so even a killed process
+// cannot leak it), while its contents stay readable through the open
+// descriptor.
+func TestBodySpoolUnlinkedImmediately(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir())
+	sp, err := newBodySpool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countSpools(t); n != 0 {
+		t.Fatalf("%d spool file(s) visible while the spool is open", n)
+	}
+	if _, err := sp.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(sp)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countSpools(t); n != 0 {
+		t.Fatalf("%d spool file(s) left after close", n)
+	}
+}

@@ -1,0 +1,243 @@
+// Package shardrun is the deterministic chunked-shard runner shared by the
+// serving engines. Both repairsvc.Engine (labelled streams) and
+// blindsvc.Engine (s-unlabelled streams) batch Algorithm-2 traffic the same
+// way — records repaired independently, fanned across contiguous shards on
+// split RNG streams — because the paper's Algorithm 2 treats every archival
+// record independently. Neither engine can import the other, so the
+// machinery they used to duplicate (including the determinism-critical
+// per-(chunk, shard) split formula) lives here; shardrun depends only on
+// internal/rng.
+//
+// Determinism contract, pinned by the engines' differential tests:
+//
+//   - Table mode fans [0, n) across contiguous shards; shard w covers
+//     [w·n/W, (w+1)·n/W) and draws from r.Split(w), where W is the worker
+//     count clamped to n. A table smaller than two shards collapses to ONE
+//     shard covering everything on r.Split(0) — the clamp rule
+//     core.RepairTableParallel established.
+//   - Stream mode reads chunks of Options.ChunkSize; shard w of chunk c
+//     draws from r.Split(c·W + w) with W the configured (unclamped) worker
+//     count, so the stream of a fixed (seed, workers, chunk size) is
+//     reproducible regardless of scheduling and of how the reader frames
+//     its input. The drain (sink) always runs serially, in input order,
+//     from the calling goroutine, and at most one chunk is in memory.
+package shardrun
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"otfair/internal/rng"
+)
+
+// DefaultChunkSize is the streaming chunk size used when Options.ChunkSize
+// is zero.
+const DefaultChunkSize = 4096
+
+// Options are the sharding knobs both serving engines expose. The zero
+// value means "defaults" (GOMAXPROCS workers, DefaultChunkSize records per
+// chunk); negative values are rejected by WithDefaults rather than being
+// silently clamped.
+type Options struct {
+	// Workers is the shard fan-out (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// ChunkSize is the number of records per parallel wave in stream mode
+	// (0 = DefaultChunkSize). Larger chunks amortize fan-out overhead;
+	// smaller chunks bound latency and memory.
+	ChunkSize int
+}
+
+// OptionError reports a nonsensical Options field. Both engines used to
+// clamp such values silently (and could drift in how); now there is one
+// validation path and it is loud.
+type OptionError struct {
+	Field string
+	Value int
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("shardrun: %s = %d is out of range (use 0 for the default)", e.Field, e.Value)
+}
+
+// WithDefaults validates o and fills in defaults: Workers 0 becomes
+// GOMAXPROCS, ChunkSize 0 becomes DefaultChunkSize. Negative values return
+// a *OptionError instead of being clamped.
+func (o Options) WithDefaults() (Options, error) {
+	if o.Workers < 0 {
+		return o, &OptionError{Field: "Workers", Value: o.Workers}
+	}
+	if o.ChunkSize < 0 {
+		return o, &OptionError{Field: "ChunkSize", Value: o.ChunkSize}
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkSize == 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	return o, nil
+}
+
+// Slots returns how many shard slots a runner can actually use for n
+// items — min(workers, n), floored at 1 (a single Split(0) shard runs even
+// for empty input). Callers size their per-shard state (diagnostics,
+// stats, scratch) with this instead of the raw worker count, so a
+// request-supplied fan-out of a billion costs goroutines and memory
+// proportional to the data, never to the number. The RNG split formulas
+// are unaffected: they use the configured worker count, not the slot
+// count.
+func Slots(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// firstErr returns the lowest-shard-index error, matching the aggregation
+// order the engines always used.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table fans the index range [0, n) across contiguous shards. Shard w
+// covers [w·n/W, (w+1)·n/W) and receives the child stream r.Split(w),
+// where W = min(workers, n); when fewer than two shards remain after the
+// clamp, the whole range runs as one shard on r.Split(0) in the calling
+// goroutine. The shard closure owns all per-shard state (repairers,
+// diagnostics slots); Table only orchestrates. On error the
+// lowest-indexed shard's error is returned.
+func Table(r *rng.RNG, workers, n int, shard func(shard int, r *rng.RNG, lo, hi int) error) error {
+	if r == nil {
+		return errors.New("shardrun: nil rng")
+	}
+	if shard == nil {
+		return errors.New("shardrun: nil shard func")
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return shard(0, r.Split(0), 0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = shard(w, r.Split(uint64(w)), lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return firstErr(errs)
+}
+
+// Stream consumes records from next (terminated by io.EOF) in chunks of
+// opts.ChunkSize and fans each chunk across contiguous shards: shard w of
+// chunk c covers [w·n/W', (w+1)·n/W') of the chunk (W' = Workers clamped
+// to the chunk length) and receives the child stream
+// r.Split(c·Workers + w) — the unclamped worker count keeps the split
+// formula independent of how full the final chunk is. After a chunk's
+// shards finish, drain is invoked serially from the calling goroutine with
+// the chunk's outputs in input order; the caller sinks records and merges
+// per-shard state there (in shard-index order, so floating-point
+// accumulations stay bit-stable). The in/out buffers are reused across
+// chunks — at most one chunk is in memory — so drain must not retain the
+// slice.
+//
+// A read error aborts immediately (records already read in the aborted
+// chunk are dropped, never repaired); a shard error aborts before drain,
+// so a chunk reaches the sink all-or-nothing.
+func Stream[T any](
+	r *rng.RNG,
+	opts Options,
+	next func() (T, error),
+	shard func(chunk uint64, shard int, r *rng.RNG, in, out []T, lo, hi int) error,
+	drain func(out []T) error,
+) error {
+	if r == nil {
+		return errors.New("shardrun: nil rng")
+	}
+	if next == nil {
+		return errors.New("shardrun: nil next func")
+	}
+	if shard == nil {
+		return errors.New("shardrun: nil shard func")
+	}
+	if drain == nil {
+		return errors.New("shardrun: nil drain func")
+	}
+	opts, err := opts.WithDefaults()
+	if err != nil {
+		return err
+	}
+	in := make([]T, 0, opts.ChunkSize)
+	out := make([]T, opts.ChunkSize)
+	var chunkIdx uint64
+	for {
+		in = in[:0]
+		var streamErr error
+		for len(in) < opts.ChunkSize {
+			rec, err := next()
+			if err == io.EOF {
+				streamErr = io.EOF
+				break
+			}
+			if err != nil {
+				return err
+			}
+			in = append(in, rec)
+		}
+		if len(in) > 0 {
+			if err := runChunk(r, chunkIdx, opts.Workers, in, out, shard); err != nil {
+				return err
+			}
+			if err := drain(out[:len(in)]); err != nil {
+				return err
+			}
+			chunkIdx++
+		}
+		if streamErr == io.EOF {
+			return nil
+		}
+	}
+}
+
+// runChunk fans one chunk across shards with the per-(chunk, shard) split
+// formula.
+func runChunk[T any](r *rng.RNG, chunk uint64, workers int, in, out []T, shard func(chunk uint64, shard int, r *rng.RNG, in, out []T, lo, hi int) error) error {
+	n := len(in)
+	streamStride := uint64(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return shard(chunk, 0, r.Split(chunk*streamStride), in, out, 0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = shard(chunk, w, r.Split(chunk*streamStride+uint64(w)), in, out, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return firstErr(errs)
+}

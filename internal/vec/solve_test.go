@@ -1,0 +1,124 @@
+package vec
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// scalarForwardSubstQuad is the reference per-record loop the batched
+// kernel must match bit for bit (it mirrors blind's gaussian.logPDF body).
+func scalarForwardSubstQuad(l, mean []float64, d int, x []float64) float64 {
+	y := make([]float64, d)
+	q := 0.0
+	for i := 0; i < d; i++ {
+		ri := i * (i + 1) / 2
+		sum := x[i] - mean[i] - Dot(l[ri:ri+i], y[:i])
+		yi := sum / l[ri+i]
+		y[i] = yi
+		q += yi * yi
+	}
+	return q
+}
+
+// randomFactor builds a random well-conditioned packed lower factor.
+func randomFactor(r *rand.Rand, d int) []float64 {
+	l := make([]float64, d*(d+1)/2)
+	for i := 0; i < d; i++ {
+		ri := i * (i + 1) / 2
+		for j := 0; j < i; j++ {
+			l[ri+j] = r.NormFloat64()
+		}
+		l[ri+i] = 1 + r.Float64()
+	}
+	return l
+}
+
+func TestForwardSubstQuadMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, d := range []int{1, 2, 3, 5, 16, 33} {
+		for _, n := range []int{0, 1, 7, 200} {
+			l := randomFactor(r, d)
+			mean := make([]float64, d)
+			for i := range mean {
+				mean[i] = r.NormFloat64()
+			}
+			x := make([]float64, n*d)
+			for i := range x {
+				x[i] = 10 * r.NormFloat64()
+			}
+			xOrig := append([]float64(nil), x...)
+			ref := make([]float64, n)
+			for rec := 0; rec < n; rec++ {
+				ref[rec] = scalarForwardSubstQuad(l, mean, d, x[rec*d:(rec+1)*d])
+			}
+			y := make([]float64, n*d)
+			quad := make([]float64, n)
+			ForwardSubstQuad(l, mean, d, x, y, quad)
+			for rec := 0; rec < n; rec++ {
+				if quad[rec] != ref[rec] {
+					t.Fatalf("d=%d n=%d record %d: %v != scalar %v", d, n, rec, quad[rec], ref[rec])
+				}
+			}
+			for i := range x {
+				if x[i] != xOrig[i] {
+					t.Fatalf("d=%d n=%d: input row mutated at %d", d, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardSubstQuadPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	ForwardSubstQuad(make([]float64, 3), make([]float64, 2), 2, make([]float64, 4), make([]float64, 3), make([]float64, 2))
+}
+
+// scalarSoftmax2 is the two-exp scalar evaluation from QDA.Posterior.
+func scalarSoftmax2(l0, l1 float64) float64 {
+	m := math.Max(l0, l1)
+	if math.IsInf(m, -1) || math.IsNaN(m) {
+		return math.NaN()
+	}
+	e0, e1 := math.Exp(l0-m), math.Exp(l1-m)
+	return e1 / (e0 + e1)
+}
+
+func TestSoftmax2MatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	inf, nan := math.Inf(1), math.NaN()
+	x := []float64{0, 0, -1e308, 3, -inf, -inf, 5, nan, 2, 7.5}
+	y := []float64{0, 1, -1e308, -740, -inf, 2, -inf, 2, nan, 7.5}
+	for i := 0; i < 200; i++ {
+		v := 2000 * (r.Float64() - 0.5)
+		x = append(x, v)
+		y = append(y, v+100*(r.Float64()-0.5))
+	}
+	dst := make([]float64, len(x))
+	Softmax2(dst, x, y)
+	for i := range x {
+		want := scalarSoftmax2(x[i], y[i])
+		if math.IsNaN(want) {
+			if !math.IsNaN(dst[i]) {
+				t.Errorf("row %d (%v, %v): got %v, want NaN", i, x[i], y[i], dst[i])
+			}
+			continue
+		}
+		if dst[i] != want {
+			t.Errorf("row %d (%v, %v): %v != scalar %v", i, x[i], y[i], dst[i], want)
+		}
+	}
+}
+
+func TestSoftmax2PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Softmax2(make([]float64, 2), make([]float64, 2), make([]float64, 3))
+}

@@ -182,6 +182,81 @@ func ShiftedExpSum(dst, x, y []float64) (max, sum float64) {
 	return max, sum
 }
 
+// ForwardSubstQuad solves L·y = (x − mean) for a block of right-hand sides
+// sharing one packed lower-triangular factor, and writes each solution's
+// quadratic form ‖y‖² to quad. l is the factor packed row-major without the
+// zero upper triangle (row i starts at i(i+1)/2 and holds i+1 entries —
+// the layout blind's QDA stores its Cholesky factors in); x holds
+// len(quad) raw rows of length d, row-major, left untouched so several
+// factors can consume one gathered block; y is same-shape scratch
+// receiving the solutions; mean (length d) is subtracted on the fly.
+//
+// This is the batched form of the per-record substitution in the QDA
+// log-density: iterating factor rows in the outer loop streams the
+// contiguous factor exactly once per block while every right-hand side
+// advances in lockstep. Per right-hand side the arithmetic — centering
+// first, the ascending dot product, one subtraction, the division, the
+// running Σy_i² — is identical to the scalar loop, so results are
+// bit-identical to solving each system alone; the consuming differential
+// tests pin that.
+func ForwardSubstQuad(l, mean []float64, d int, x, y, quad []float64) {
+	n := len(quad)
+	if len(l) != d*(d+1)/2 || len(mean) != d || len(x) != n*d || len(y) != n*d {
+		panic("vec: ForwardSubstQuad length mismatch")
+	}
+	for r := range quad {
+		quad[r] = 0
+	}
+	for i := 0; i < d; i++ {
+		ri := i * (i + 1) / 2
+		row := l[ri : ri+i]
+		diag := l[ri+i]
+		mi := mean[i]
+		for r := 0; r < n; r++ {
+			yr := y[r*d : r*d+d]
+			// The dot product is inlined (same ascending accumulation as
+			// Dot) — a call per (row, rhs) would dominate at small d.
+			s := 0.0
+			for j, v := range row {
+				s += v * yr[j]
+			}
+			yi := (x[r*d+i] - mi - s) / diag
+			yr[i] = yi
+			quad[r] += yi * yi
+		}
+	}
+}
+
+// Softmax2 fills dst[i] with the second-class weight of a two-way softmax,
+// exp(y_i−m)/(exp(x_i−m)+exp(y_i−m)) with m = max(x_i, y_i) — the row-wise
+// max-shifted posterior kernel of the batched QDA. The shifted exponential
+// of the maximum itself is exactly 1 (math.Exp(0) == 1), so branching on
+// equality halves the math.Exp traffic without changing a single output
+// bit relative to the scalar two-exp evaluation. Rows whose maximum is NaN
+// or −Inf (both classes underflowed — the data carries no information)
+// produce NaN, for the caller's fallback policy.
+func Softmax2(dst, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("vec: Softmax2 length mismatch")
+	}
+	for i, xv := range x {
+		yv := y[i]
+		m := math.Max(xv, yv)
+		if math.IsNaN(m) || math.IsInf(m, -1) {
+			dst[i] = math.NaN()
+			continue
+		}
+		e0, e1 := 1.0, 1.0
+		if xv != m {
+			e0 = math.Exp(xv - m)
+		}
+		if yv != m {
+			e1 = math.Exp(yv - m)
+		}
+		dst[i] = e1 / (e0 + e1)
+	}
+}
+
 // gaussChunk bounds the multiplicative recurrence below before it is
 // re-anchored with a direct exp; 128 steps keep the accumulated relative
 // rounding under ~3e-14, far inside the pipeline's 1e-9 differential

@@ -257,6 +257,10 @@ type (
 	// QDA is the supervised Gaussian posterior Pr[s|x,u] fitted on the
 	// research set, usable as a streaming soft-labeller.
 	QDA = blind.QDA
+	// QDABatch evaluates the fitted posterior for whole chunks of records
+	// at once (QDA.Batch) — bit-identical to per-record evaluation, but on
+	// vectorized kernels; the blind serving engines run on it.
+	QDABatch = blind.BatchPosterior
 )
 
 // Blind method choices for BlindOptions.Method.
