@@ -15,6 +15,10 @@ ARTEFACTS = BenchmarkTable1$$|BenchmarkFigure3$$|BenchmarkFigure4$$|BenchmarkTab
 # calibrated blind (s-unlabelled) engine, and the batched QDA posterior
 # kernel under the blind path.
 THROUGHPUT = BenchmarkRepairThroughput|BenchmarkServeRepairHTTP$$|BenchmarkBlindRepairThroughput|BenchmarkBlindPosteriorBatch$$
+# Joint (multivariate) design and repair: the separable-vs-dense pair at
+# NQ=16, d=2 reads as the Kronecker-factorization speedup, and the NQ=20,
+# d=3 (8 000-state) pair certifies the scale the dense path cannot touch.
+JOINT = BenchmarkJointDesign$$|BenchmarkJointDesignDense$$|BenchmarkJointRepair$$|BenchmarkJointDesign3D$$|BenchmarkJointRepair3D$$
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
@@ -38,7 +42,7 @@ verify: vet build test
 race:
 	$(GO) test -race ./internal/ot/ ./internal/core/ ./internal/vec/ \
 		./internal/fairmetrics/ ./internal/planstore/ ./internal/repairsvc/ \
-		./internal/blindsvc/ ./internal/shardrun/
+		./internal/blindsvc/ ./internal/shardrun/ ./internal/joint/
 
 # Boot fairserved against synthetic data, repair through the full HTTP
 # round trip, and check byte-equivalence with the library path plus the E
@@ -53,10 +57,11 @@ serve-smoke:
 # failing bench fails the target instead of being swallowed by the pipe;
 # benchjson then parses the concatenation.
 bench:
-	@set -e; A=$$(mktemp); T=$$(mktemp); trap 'rm -f "$$A" "$$T"' EXIT; \
+	@set -e; A=$$(mktemp); T=$$(mktemp); J=$$(mktemp); trap 'rm -f "$$A" "$$T" "$$J"' EXIT; \
 	$(GO) test -run '^$$' -bench '$(ARTEFACTS)' -benchtime 2x -count 1 . > "$$A"; \
 	$(GO) test -run '^$$' -bench '$(THROUGHPUT)' -benchtime 20x -count 1 . > "$$T"; \
-	cat "$$A" "$$T" | $(GO) run ./cmd/benchjson $(BASEFLAG) > BENCH_$(BENCH_N).json
+	$(GO) test -run '^$$' -bench '$(JOINT)' -benchtime 3x -count 1 . > "$$J"; \
+	cat "$$A" "$$T" "$$J" | $(GO) run ./cmd/benchjson $(BASEFLAG) > BENCH_$(BENCH_N).json
 	@cat BENCH_$(BENCH_N).json
 
 # Stage-level micro-benchmarks (design, repair, solvers, metric, kernels).

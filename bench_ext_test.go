@@ -12,6 +12,7 @@ import (
 	"otfair/internal/blind"
 	"otfair/internal/contu"
 	"otfair/internal/core"
+	"otfair/internal/dataset"
 	"otfair/internal/experiment"
 	"otfair/internal/fairmetrics"
 	"otfair/internal/joint"
@@ -61,11 +62,27 @@ func BenchmarkQDAPosterior(b *testing.B) {
 }
 
 // BenchmarkJointDesign measures the multivariate Algorithm-1 analogue — the
-// curse-of-dimensionality cost the paper's feature split avoids (X8).
+// curse-of-dimensionality cost the paper's feature split avoids (X8). The
+// default design runs the Kronecker-factored (separable) Gibbs path;
+// BenchmarkJointDesignDense measures the dense oracle it replaced, so the
+// pair reads as the separable speedup in BENCH_*.json.
 func BenchmarkJointDesign(b *testing.B) {
 	research, _ := benchSimData(b, 500, 0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := joint.Design(research, joint.Options{NQ: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointDesignDense measures the materialized-kernel oracle path at
+// the same NQ=16, d=2 setting — the pre-separable price.
+func BenchmarkJointDesignDense(b *testing.B) {
+	research, _ := benchSimData(b, 500, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := joint.Design(research, joint.Options{NQ: 16, Dense: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,6 +99,66 @@ func BenchmarkJointRepair(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rp.RepairTable(archive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimData3D draws a three-feature scenario at the given sizes: the
+// d = 3 workload (NQ = 20 → 8 000 product states) the dense joint design
+// could never touch — its cost matrix alone would be 8000² floats.
+func benchSimData3D(b *testing.B, nR, nA int) (research, archive *dataset.Table) {
+	b.Helper()
+	r := rng.New(101)
+	draw := func(n int) *dataset.Table {
+		tab := dataset.MustTable(3, nil)
+		for i := 0; i < n; i++ {
+			u := i % 2
+			s := (i / 2) % 2
+			shift := float64(s)
+			rec := dataset.Record{
+				X: []float64{r.Normal(shift, 1), r.Normal(shift, 1), r.Normal(-shift, 1)},
+				S: s, U: u,
+			}
+			if err := tab.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return tab
+	}
+	return draw(nR), draw(nA)
+}
+
+// BenchmarkJointDesign3D measures the separable design on the 8 000-state
+// product support (NQ = 20, d = 3).
+func BenchmarkJointDesign3D(b *testing.B) {
+	research, _ := benchSimData3D(b, 600, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := joint.Design(research, joint.Options{NQ: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointRepair3D measures archive repair over the 8 000-state
+// design: plan rows are materialized lazily and alias tables cached per
+// visited row.
+func BenchmarkJointRepair3D(b *testing.B) {
+	research, archive := benchSimData3D(b, 600, 5000)
+	plan, err := joint.Design(research, joint.Options{NQ: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp, err := joint.NewRepairer(plan, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rp.RepairTable(archive); err != nil {

@@ -149,6 +149,13 @@ type Repairer struct {
 	r         *rng.RNG
 	stats     Stats
 	dim       int
+	// bp is the batched evaluator over the default QDA posterior, set only
+	// when the posterior was NOT overridden through Options.Posterior. When
+	// present, RepairTable and RepairStream evaluate posteriors in spans
+	// through the vec-batched fast path (bit-identical to the scalar
+	// posterior, so outputs are byte-identical); a custom posterior may be
+	// stateful, so it always runs record by record.
+	bp *BatchPosterior
 }
 
 // New builds a blind repairer from a designed labelled plan and the research
@@ -172,6 +179,7 @@ func New(plan *core.Plan, research *dataset.Table, r *rng.RNG, opts Options) (*R
 				return nil, err
 			}
 			post = qda.Posterior
+			rp.bp = qda.Batch()
 		}
 		rp.posterior = post
 		inner, err := core.NewRepairer(plan, r, opts.Repair)
@@ -230,6 +238,7 @@ func NewCalibrated(cal *Calibration, smp Samplers, r *rng.RNG, opts Options) (*R
 		post := opts.Posterior
 		if post == nil {
 			post = cal.Posterior
+			rp.bp = cal.QDA().Batch()
 		}
 		rp.posterior = post
 		inner, err := core.NewRepairerShared(smp.Labelled, r, opts.Repair)
@@ -431,8 +440,85 @@ func (rp *Repairer) repairImputed(rec, out dataset.Record, gamma float64) (datas
 	return out, nil
 }
 
+// blindSpan is the span size of the batched table/stream paths — the same
+// block the serving engines and BatchPosterior use, so the gathered
+// right-hand sides stay cache-resident.
+const blindSpan = 1024
+
+// batchable reports whether whole spans may run through the batched
+// posterior path: the pooled method never consults a posterior at all, and
+// the posterior methods qualify exactly when the default QDA is in use
+// (BatchPosterior is bit-identical to it; a caller-supplied PosteriorFunc
+// may be stateful and keeps the per-record order).
+func (rp *Repairer) batchable() bool {
+	return rp.method == MethodPooled || rp.bp != nil
+}
+
+// spanValid reports whether every record of a span would pass the
+// per-record validation (u label and dimension — the checks both
+// BatchPosterior and repairKnown apply up front). Spans containing an
+// invalid record fall back to the scalar loop so error positions and the
+// partial-progress semantics match the per-record path exactly.
+func (rp *Repairer) spanValid(recs []dataset.Record) bool {
+	for _, rec := range recs {
+		if (rec.U != 0 && rec.U != 1) || len(rec.X) != rp.dim {
+			return false
+		}
+	}
+	return true
+}
+
+// spanPosteriors fills gammas[i] for every unlabelled record of a valid
+// span through the batched QDA evaluator. Labelled slots (and every slot,
+// for posterior-free methods) are not written — the reused buffer may
+// carry stale values from earlier spans there — and are ignored
+// downstream: RepairBatch never consults gamma for a record that arrives
+// with a label.
+func (rp *Repairer) spanPosteriors(recs []dataset.Record, gammas []float64) error {
+	if rp.bp == nil || rp.method == MethodPooled {
+		return nil
+	}
+	// Like the scalar path, only unlabelled records consult the posterior:
+	// a mostly-labelled archive must not pay for discarded soft labels.
+	// All-unlabelled spans (the common blind case) batch directly; mixed
+	// spans gather the unlabelled subset and scatter the results back.
+	unl := 0
+	for _, rec := range recs {
+		if rec.S == dataset.SUnknown {
+			unl++
+		}
+	}
+	switch {
+	case unl == 0:
+		return nil
+	case unl == len(recs):
+		return rp.bp.Posteriors(recs, gammas[:len(recs)])
+	default:
+		sub := make([]dataset.Record, 0, unl)
+		idx := make([]int, 0, unl)
+		for i, rec := range recs {
+			if rec.S == dataset.SUnknown {
+				sub = append(sub, rec)
+				idx = append(idx, i)
+			}
+		}
+		sg := make([]float64, unl)
+		if err := rp.bp.Posteriors(sub, sg); err != nil {
+			return err
+		}
+		for j, i := range idx {
+			gammas[i] = sg[j]
+		}
+		return nil
+	}
+}
+
 // RepairTable repairs every record of a table in order; records may be
-// unlabelled. Cardinality and the (known) labels are preserved.
+// unlabelled. Cardinality and the (known) labels are preserved. Under the
+// default QDA posterior the table runs in spans through BatchPosterior +
+// RepairBatch — the same vec-batched fast path the serving engines use,
+// byte-identical to the per-record sequence (identical RNG consumption and
+// stats accumulation).
 func (rp *Repairer) RepairTable(t *dataset.Table) (*dataset.Table, error) {
 	if t == nil {
 		return nil, errors.New("blind: nil table")
@@ -444,13 +530,42 @@ func (rp *Repairer) RepairTable(t *dataset.Table) (*dataset.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < t.Len(); i++ {
-		rec, err := rp.RepairRecord(t.At(i))
-		if err != nil {
-			return nil, fmt.Errorf("blind: record %d: %w", i, err)
+	recs := t.Records()
+	var gammas []float64
+	var span []dataset.Record
+	if rp.batchable() {
+		gammas = make([]float64, blindSpan)
+		span = make([]dataset.Record, blindSpan)
+	}
+	for lo := 0; lo < len(recs); lo += blindSpan {
+		hi := lo + blindSpan
+		if hi > len(recs) {
+			hi = len(recs)
 		}
-		if err := out.Append(rec); err != nil {
-			return nil, fmt.Errorf("blind: record %d: %w", i, err)
+		if rp.batchable() && rp.spanValid(recs[lo:hi]) {
+			if err := rp.spanPosteriors(recs[lo:hi], gammas); err != nil {
+				return nil, fmt.Errorf("blind: posterior (span at %d): %w", lo, err)
+			}
+			if err := rp.RepairBatch(lo, recs[lo:hi], gammas[:hi-lo], span[:hi-lo]); err != nil {
+				return nil, err
+			}
+			for i, rec := range span[:hi-lo] {
+				if err := out.Append(rec); err != nil {
+					return nil, fmt.Errorf("blind: record %d: %w", lo+i, err)
+				}
+			}
+			continue
+		}
+		// Scalar fallback: custom posterior, or a span carrying a record
+		// that must fail with the per-record error position.
+		for i := lo; i < hi; i++ {
+			rec, err := rp.RepairRecord(recs[i])
+			if err != nil {
+				return nil, fmt.Errorf("blind: record %d: %w", i, err)
+			}
+			if err := out.Append(rec); err != nil {
+				return nil, fmt.Errorf("blind: record %d: %w", i, err)
+			}
 		}
 	}
 	return out, nil
@@ -458,11 +573,20 @@ func (rp *Repairer) RepairTable(t *dataset.Table) (*dataset.Table, error) {
 
 // RepairStream consumes a record stream — possibly unlabelled — and emits
 // repaired records to sink with O(1) memory, mirroring
-// core.Repairer.RepairStream for the torrent deployment mode.
+// core.Repairer.RepairStream for the torrent deployment mode. Each record
+// is repaired and sunk as soon as it arrives — the stream path never
+// buffers, because a live torrent's downstream must not wait on a span
+// filling up. Under the default QDA posterior, each unlabelled record's
+// soft label still runs through the batched evaluator (a length-1 batch is
+// bit-identical to the scalar posterior and skips its per-record prior
+// logs), so the output is byte-identical to the per-record reference
+// either way; whole-span batching is RepairTable's job.
 func (rp *Repairer) RepairStream(in dataset.Stream, sink func(dataset.Record) error) (int, error) {
 	if in.Dim() != rp.dim {
 		return 0, fmt.Errorf("blind: stream dimension %d does not match plan %d", in.Dim(), rp.dim)
 	}
+	var one [1]dataset.Record
+	var gamma [1]float64
 	n := 0
 	for {
 		rec, err := in.Next()
@@ -472,7 +596,20 @@ func (rp *Repairer) RepairStream(in dataset.Stream, sink func(dataset.Record) er
 		if err != nil {
 			return n, err
 		}
-		repaired, err := rp.RepairRecord(rec)
+		var repaired dataset.Record
+		if rp.bp != nil && rp.method != MethodPooled && rec.S == dataset.SUnknown &&
+			(rec.U == 0 || rec.U == 1) && len(rec.X) == rp.dim {
+			one[0] = rec
+			if err := rp.bp.Posteriors(one[:], gamma[:]); err != nil {
+				return n, fmt.Errorf("blind: stream record %d: posterior: %w", n, err)
+			}
+			repaired, err = rp.RepairRecordPosterior(rec, gamma[0])
+		} else {
+			// Labelled or posterior-free records never consult a posterior;
+			// invalid records take this path too so the error position and
+			// text match the per-record reference exactly.
+			repaired, err = rp.RepairRecord(rec)
+		}
 		if err != nil {
 			return n, fmt.Errorf("blind: stream record %d: %w", n, err)
 		}

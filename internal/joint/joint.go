@@ -27,6 +27,7 @@ package joint
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"otfair/internal/dataset"
 	"otfair/internal/kde"
@@ -49,12 +50,26 @@ type Options struct {
 	// Epsilon is the entropic regularization shared by the barycenter and
 	// the Sinkhorn plans (0 = scale-aware default).
 	Epsilon float64
-	// MaxStates caps the product-support size per u (default 8192). Designs
-	// that would exceed it fail fast with a sizing error instead of
-	// exhausting memory: the n_Q^{2d}-entry plans are the curse of
-	// dimensionality the paper's feature stratification exists to avoid.
+	// MaxStates caps the product-support size per u (default 65536).
+	// Designs that would exceed it fail fast with a sizing error instead of
+	// exhausting memory. The default separable design stores only the
+	// Kronecker factors (Σ_k n_k² kernel entries) and O(n) vectors per
+	// cell, so the cap guards vector memory, not the n²-entry dense objects
+	// the pre-factorized design paid for; the Dense oracle path is
+	// additionally capped at denseMaxStates regardless.
 	MaxStates int
+	// Dense forces the materialized-kernel design: an explicit n×n cost
+	// matrix, the dense Bregman barycenter and log-domain Sinkhorn plans.
+	// It is the differential oracle the separable path is pinned against
+	// (within 1e-9) and is quadratic in the state count, hence the separate
+	// denseMaxStates cap.
+	Dense bool
 }
+
+// denseMaxStates caps the Dense oracle path: beyond it the n² cost matrix,
+// Gibbs kernel and plans (512 MB of kernel alone at 8192 states) stop being
+// an oracle and start being a memory incident.
+const denseMaxStates = 8192
 
 func (o Options) withDefaults() Options {
 	if o.NQ == 0 {
@@ -64,7 +79,7 @@ func (o Options) withDefaults() Options {
 		o.T = 0.5
 	}
 	if o.MaxStates == 0 {
-		o.MaxStates = 8192
+		o.MaxStates = 65536
 	}
 	return o
 }
@@ -73,11 +88,13 @@ func (o Options) validate() error {
 	if o.NQ < 2 {
 		return fmt.Errorf("joint: NQ must be at least 2, got %d", o.NQ)
 	}
-	if o.T <= 0 || o.T >= 1 {
+	// NaN compares false against both range bounds, so it must be rejected
+	// explicitly before it reaches the solvers.
+	if math.IsNaN(o.T) || o.T <= 0 || o.T >= 1 {
 		return fmt.Errorf("joint: geodesic parameter T = %v outside (0,1)", o.T)
 	}
-	if o.Epsilon < 0 {
-		return fmt.Errorf("joint: negative epsilon %v", o.Epsilon)
+	if math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) || o.Epsilon < 0 {
+		return fmt.Errorf("joint: invalid epsilon %v", o.Epsilon)
 	}
 	return nil
 }
@@ -93,8 +110,10 @@ type Cell struct {
 	PMF [2][]float64
 	// Bary is the entropic W2 barycenter on Points — the fair target ν_u.
 	Bary []float64
-	// Plans[s] is the Sinkhorn plan from PMF[s] to Bary.
-	Plans [2]*ot.Plan
+	// Plans[s] is the Sinkhorn plan from PMF[s] to Bary: a lazily-rowed
+	// *ot.FactoredPlan for the default separable design, a materialized
+	// *ot.Plan for the Dense oracle.
+	Plans [2]ot.RowPlan
 }
 
 // States returns the product-support size.
@@ -167,16 +186,11 @@ func designCell(research *dataset.Table, u int, opts Options) (*Cell, error) {
 		return nil, fmt.Errorf("joint: product support has %d states (> MaxStates %d); lower NQ or use the per-feature repair",
 			states, opts.MaxStates)
 	}
+	if opts.Dense && states > denseMaxStates {
+		return nil, fmt.Errorf("joint: product support has %d states (> %d, the dense-oracle cap); drop Dense for the separable design",
+			states, denseMaxStates)
+	}
 	cell.Points = productPoints(cell.Grids)
-
-	cost, err := ot.NewCostMatrixPoints(cell.Points, cell.Points, ot.SquaredEuclideanPoints)
-	if err != nil {
-		return nil, err
-	}
-	eps := opts.Epsilon
-	if eps <= 0 {
-		eps = 5e-3 * (1 + cost.Max())
-	}
 
 	for s := 0; s < 2; s++ {
 		var rows [][]float64
@@ -194,6 +208,66 @@ func designCell(research *dataset.Table, u int, opts Options) (*Cell, error) {
 			return nil, fmt.Errorf("s=%d interpolation: %w", s, err)
 		}
 		cell.PMF[s] = pmf
+	}
+
+	if opts.Dense {
+		return denseCell(cell, opts)
+	}
+	return separableCell(cell, opts)
+}
+
+// separableCell finishes a cell on the default Kronecker-factored path: on
+// the product grid the squared-Euclidean Gibbs kernel is K₁ ⊗ … ⊗ K_d, so
+// the barycenter and both plans run through axis contractions costing
+// O(n·Σ_k n_k) per application — never materializing a cost matrix, a
+// dense kernel, or a dense plan. The scale-aware ε default uses the exact
+// maximum product cost Σ_k (hi_k − lo_k)², which is the corner-to-corner
+// value the dense cost matrix's Max() reports.
+func separableCell(cell *Cell, opts Options) (*Cell, error) {
+	maxC := 0.0
+	for _, g := range cell.Grids {
+		r := g[len(g)-1] - g[0]
+		maxC += r * r
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 5e-3 * (1 + maxC)
+	}
+	op, err := ot.NewSeparableGibbs(cell.Grids, eps)
+	if err != nil {
+		return nil, err
+	}
+
+	bary, err := ot.BregmanBarycenterOp(op,
+		[][]float64{cell.PMF[0], cell.PMF[1]},
+		[]float64{1 - opts.T, opts.T},
+		ot.BregmanOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("barycenter: %w", err)
+	}
+	cell.Bary = bary
+
+	for s := 0; s < 2; s++ {
+		res, err := ot.SinkhornOp(cell.PMF[s], bary, op, ot.SinkhornOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("s=%d plan: %w", s, err)
+		}
+		cell.Plans[s] = res.Plan
+	}
+	return cell, nil
+}
+
+// denseCell finishes a cell on the materialized-kernel oracle path — the
+// pre-factorization design kept verbatim so the separable path has a dense
+// reference to be differentially pinned against.
+func denseCell(cell *Cell, opts Options) (*Cell, error) {
+	cost, err := ot.NewCostMatrixPoints(cell.Points, cell.Points, ot.SquaredEuclideanPoints)
+	if err != nil {
+		return nil, err
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 5e-3 * (1 + cost.Max())
 	}
 
 	bary, err := ot.BregmanBarycenterCost(cost,

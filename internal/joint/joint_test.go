@@ -469,9 +469,12 @@ func TestJointReadPlanRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := buf.String()
+	if !strings.Contains(good, `"version":2`) {
+		t.Fatalf("serialized plan does not carry version 2: %.80s", good)
+	}
 	cases := map[string]string{
 		"garbage":     "{not json",
-		"bad version": strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"bad version": strings.Replace(good, `"version":2`, `"version":99`, 1),
 		"bad dim":     strings.Replace(good, `"dim":2`, `"dim":0`, 1),
 	}
 	for name, body := range cases {

@@ -29,9 +29,22 @@ type Repairer struct {
 	rng  *rng.RNG
 	diag Diagnostics
 	// alias caches one sampler per (u, s, row): archival torrents revisit
-	// the same rows constantly.
-	alias map[aliasKey]*rowSampler
+	// the same rows constantly. The cache is bounded by total cached atoms
+	// (aliasAtomBudget), not row count: entropic rows over an 8 000-state
+	// product support carry thousands of atoms each, and the τ-Bernoulli
+	// snap keeps discovering new rows over an unbounded torrent, so an
+	// uncapped cache would grow to rows × states atoms. Eviction never
+	// changes outputs — a rebuilt sampler is identical, the draw consumes
+	// the same RNG stream.
+	alias      map[aliasKey]*rowSampler
+	aliasAtoms int
 }
+
+// aliasAtomBudget bounds the alias cache at ~4M cached atoms (≈128 MB of
+// targets + probabilities + alias tables). Small cells (the 256-state
+// NQ=16, d=2 design has at most 1 024 distinct keys) never evict; the
+// 8 000-state designs cycle the working set instead of exhausting memory.
+const aliasAtomBudget = 1 << 22
 
 type aliasKey struct {
 	u, s, row int
@@ -131,7 +144,21 @@ func (rp *Repairer) drawTarget(cell *Cell, u, s, row int) int {
 			panic("joint: plan has no mass in any row")
 		}
 		sampler = &rowSampler{targets: targets, table: rng.NewAlias(probs)}
+		if rp.aliasAtoms+len(targets) > aliasAtomBudget {
+			// Shed an arbitrary quarter of the cached atoms (map order);
+			// rebuilt samplers are identical, so eviction cannot change a
+			// single output draw.
+			shed := aliasAtomBudget / 4
+			for k, cached := range rp.alias {
+				rp.aliasAtoms -= len(cached.targets)
+				delete(rp.alias, k)
+				if shed -= len(cached.targets); shed <= 0 {
+					break
+				}
+			}
+		}
 		rp.alias[key] = sampler
+		rp.aliasAtoms += len(targets)
 	}
 	return sampler.targets[sampler.table.Draw(rp.rng)]
 }

@@ -15,9 +15,15 @@ import (
 // different process. The JSON layout mirrors core's, with the product
 // support stored as per-dimension grids (points are reconstructed, not
 // stored — they are pure redundancy).
+//
+// Version 2 adds the scaling-form cells the separable design produces: a
+// factored plan is its two scaling vectors plus the per-axis Gibbs factors
+// (Σ_k n_k² entries), so an 8 000-state design serializes in O(n) where the
+// dense entry list would be O(n²). Version-1 documents (dense entries only)
+// are still read.
 
 // jointPlanVersion is bumped when the layout changes incompatibly.
-const jointPlanVersion = 1
+const jointPlanVersion = 2
 
 type planJSON struct {
 	Version int         `json:"version"`
@@ -34,13 +40,29 @@ type optionsJSON struct {
 	Bandwidth string  `json:"bandwidth"`
 	Epsilon   float64 `json:"epsilon,omitempty"`
 	MaxStates int     `json:"max_states"`
+	Dense     bool    `json:"dense,omitempty"`
 }
 
 type cellJSON struct {
-	Grids [][]float64   `json:"grids"`
-	PMF   [2][]float64  `json:"pmf"`
-	Bary  []float64     `json:"bary"`
-	Plans [2][]ot.Entry `json:"plans"`
+	Grids [][]float64  `json:"grids"`
+	PMF   [2][]float64 `json:"pmf"`
+	Bary  []float64    `json:"bary"`
+	// Plans holds dense entry lists (the Dense oracle path and all
+	// version-1 documents).
+	Plans [2][]ot.Entry `json:"plans,omitempty"`
+	// Scaled holds the cell's scaling-form plans (the separable path,
+	// version ≥ 2).
+	Scaled *scaledCellJSON `json:"scaled,omitempty"`
+}
+
+// scaledCellJSON holds a cell's factored plans π_s = diag(u_s)·K·diag(v_s).
+// Both s-plans of a cell share one Kronecker kernel, so the per-axis
+// factors are stored once per cell and the rebuilt plans share one
+// operator again after a round-trip.
+type scaledCellJSON struct {
+	Factors [][]float64  `json:"factors"`
+	U       [2][]float64 `json:"u"`
+	V       [2][]float64 `json:"v"`
 }
 
 // WriteJSON serializes the joint plan.
@@ -56,6 +78,7 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 			Bandwidth: p.Opts.Bandwidth.String(),
 			Epsilon:   p.Opts.Epsilon,
 			MaxStates: p.Opts.MaxStates,
+			Dense:     p.Opts.Dense,
 		},
 	}
 	for u := 0; u < 2; u++ {
@@ -65,8 +88,30 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 			PMF:   cell.PMF,
 			Bary:  cell.Bary,
 		}
+		var sharedKernel ot.KernelOp
 		for s := 0; s < 2; s++ {
-			cj.Plans[s] = cell.Plans[s].Entries()
+			switch plan := cell.Plans[s].(type) {
+			case *ot.Plan:
+				cj.Plans[s] = plan.Entries()
+			case *ot.FactoredPlan:
+				sep, ok := plan.Kernel().(*ot.SeparableKernel)
+				if !ok {
+					return fmt.Errorf("joint: cell u=%d s=%d: factored plan over a non-separable kernel is not serializable", u, s)
+				}
+				if cj.Scaled == nil {
+					cj.Scaled = &scaledCellJSON{Factors: sep.Factors()}
+					sharedKernel = plan.Kernel()
+				} else if plan.Kernel() != sharedKernel {
+					// The layout stores the factors once per cell, which is
+					// only faithful when the cell's plans share one kernel —
+					// as every designed cell does.
+					return fmt.Errorf("joint: cell u=%d: factored plans do not share one kernel", u)
+				}
+				uVec, vVec := plan.Scalings()
+				cj.Scaled.U[s], cj.Scaled.V[s] = uVec, vVec
+			default:
+				return fmt.Errorf("joint: cell u=%d s=%d: unserializable plan type %T", u, s, plan)
+			}
 		}
 		out.Cells[u] = cj
 	}
@@ -74,14 +119,15 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 }
 
 // ReadPlan deserializes a joint plan written by WriteJSON, re-validating
-// every component so corrupted files fail loudly.
+// every component so corrupted files fail loudly. Version 1 (dense-only)
+// and version 2 (dense or scaling-form) documents are both accepted.
 func ReadPlan(r io.Reader) (*Plan, error) {
 	var in planJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("joint: decoding plan: %w", err)
 	}
-	if in.Version != jointPlanVersion {
-		return nil, fmt.Errorf("joint: plan version %d unsupported (want %d)", in.Version, jointPlanVersion)
+	if in.Version < 1 || in.Version > jointPlanVersion {
+		return nil, fmt.Errorf("joint: plan version %d unsupported (want 1..%d)", in.Version, jointPlanVersion)
 	}
 	if in.Dim <= 0 {
 		return nil, errors.New("joint: plan has non-positive dimension")
@@ -104,6 +150,7 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 			Bandwidth: bandwidth,
 			Epsilon:   in.Opts.Epsilon,
 			MaxStates: in.Opts.MaxStates,
+			Dense:     in.Opts.Dense,
 		},
 	}
 	for u := 0; u < 2; u++ {
@@ -136,12 +183,26 @@ func cellFromJSON(cj cellJSON, dim int) (*Cell, error) {
 		return nil, fmt.Errorf("barycenter has %d states, support has %d", len(cj.Bary), states)
 	}
 	cell := &Cell{Grids: cj.Grids, Bary: cj.Bary, Points: productPoints(cj.Grids)}
+	// Scaling-form cells rebuild the cell's shared kernel exactly once;
+	// NewSeparableFactors validates squareness and entry sanity, the dims
+	// check pins the factor product to the grid's state count.
+	var op *ot.SeparableKernel
+	if cj.Scaled != nil {
+		var err error
+		op, err = ot.NewSeparableFactors(cj.Scaled.Factors)
+		if err != nil {
+			return nil, err
+		}
+		if n, _ := op.Dims(); n != states {
+			return nil, fmt.Errorf("factors multiply to %d states, support has %d", n, states)
+		}
+	}
 	for s := 0; s < 2; s++ {
 		if len(cj.PMF[s]) != states {
 			return nil, fmt.Errorf("pmf[%d] has %d states, support has %d", s, len(cj.PMF[s]), states)
 		}
 		cell.PMF[s] = cj.PMF[s]
-		plan, err := ot.NewPlan(states, states, cj.Plans[s])
+		plan, err := planFromJSON(cj, op, s, states)
 		if err != nil {
 			return nil, fmt.Errorf("plan[%d]: %w", s, err)
 		}
@@ -151,4 +212,17 @@ func cellFromJSON(cj cellJSON, dim int) (*Cell, error) {
 		cell.Plans[s] = plan
 	}
 	return cell, nil
+}
+
+// planFromJSON rebuilds one plan slot, preferring the scaling form when
+// present. Exactly one representation must be populated per slot; both
+// scaling-form slots share the cell's one rebuilt kernel.
+func planFromJSON(cj cellJSON, op *ot.SeparableKernel, s, states int) (ot.RowPlan, error) {
+	if cj.Scaled != nil && len(cj.Scaled.U[s]) > 0 {
+		if len(cj.Plans[s]) > 0 {
+			return nil, errors.New("both dense and scaled representations present")
+		}
+		return ot.NewFactoredPlan(op, cj.Scaled.U[s], cj.Scaled.V[s])
+	}
+	return ot.NewPlan(states, states, cj.Plans[s])
 }

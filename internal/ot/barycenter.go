@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+
+	"otfair/internal/vec"
 )
 
 // validateBaryWeights checks the barycentric mixing weights λ.
@@ -155,13 +158,35 @@ func GridBarycenter(grid []float64, pmfs [][]float64, lambdas []float64) ([]floa
 
 // BregmanOptions configures the iterative-Bregman fixed-support barycenter.
 type BregmanOptions struct {
-	// Epsilon is the entropic regularization (default 5e-3·maxCost).
+	// Epsilon is the entropic regularization (default 5e-3·maxCost). It is
+	// ignored by BregmanBarycenterOp, whose kernel already encodes it.
 	Epsilon float64
 	// MaxIter bounds the outer iterations (default 2000).
 	MaxIter int
 	// Tol is the L1 change in the barycenter between sweeps that stops the
 	// iteration (default 1e-10).
 	Tol float64
+	// Workers caps the per-measure projection fan-out (0 = GOMAXPROCS).
+	// The k measures' scaling updates are independent within a sweep, so
+	// large supports run them concurrently; the barycenter accumulation
+	// stays serial in measure order, keeping results independent of the
+	// worker count.
+	Workers int
+}
+
+// validate rejects option values that would silently corrupt the iteration:
+// the `<= 0 means default` convention is NaN-blind (NaN compares false
+// against everything), so NaN or ±Inf must be caught explicitly before a
+// NaN epsilon reaches the Gibbs kernel or a NaN tolerance disables the
+// stopping rule.
+func (o BregmanOptions) validate() error {
+	if math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) {
+		return fmt.Errorf("ot: Bregman epsilon %v is not finite", o.Epsilon)
+	}
+	if math.IsNaN(o.Tol) || math.IsInf(o.Tol, 0) {
+		return fmt.Errorf("ot: Bregman tolerance %v is not finite", o.Tol)
+	}
+	return nil
 }
 
 // BregmanBarycenter computes the entropically regularized W₂ barycenter of
@@ -179,9 +204,52 @@ func BregmanBarycenter(grid []float64, pmfs [][]float64, lambdas []float64, opts
 
 // BregmanBarycenterCost is BregmanBarycenter over an arbitrary shared
 // support described only by its pairwise cost matrix, which must be square.
-// This is the entry point for multivariate (product-grid) supports, where
-// the states are points in R^d rather than a 1-D grid.
+// This is the dense entry point for multivariate supports, where the states
+// are points in R^d rather than a 1-D grid; it materializes the n² Gibbs
+// kernel and runs BregmanBarycenterOp over it. Product-grid callers should
+// build a SeparableKernel and call BregmanBarycenterOp directly, which
+// never materializes the dense kernel at all.
 func BregmanBarycenterCost(cost *CostMatrix, pmfs [][]float64, lambdas []float64, opts BregmanOptions) ([]float64, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n, m := cost.Dims()
+	if n != m {
+		return nil, fmt.Errorf("ot: barycenter needs a square cost, got %d×%d", n, m)
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 5e-3 * (1 + cost.Max())
+	}
+	op, err := NewDenseGibbs(cost, opts.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return BregmanBarycenterOp(op, pmfs, lambdas, opts)
+}
+
+// bregmanParallelMin is the support size above which the per-measure
+// projections fan out across goroutines; below it the scaling updates are
+// microseconds and the fan-out overhead would dominate.
+const bregmanParallelMin = 1 << 12
+
+// BregmanBarycenterOp computes the entropically regularized barycenter over
+// an arbitrary Gibbs kernel operator — the generalized inner loop behind
+// BregmanBarycenter/BregmanBarycenterCost. The kernel must be square and
+// symmetric (both Gibbs constructions here are: the cost is symmetric on a
+// shared support), and already encodes the regularization ε, so
+// opts.Epsilon is ignored.
+//
+// The iteration is allocation-free after setup: all scaling vectors, the
+// kernel-application outputs and the log-domain accumulator are
+// preallocated once and the element sweeps run through the vec kernels.
+// The k per-measure projections (u_s = p_s ./ K v_s, then K u_s) are
+// independent within a sweep and fan out across opts.Workers goroutines on
+// large supports; the geometric-mean accumulation that follows is serial in
+// measure order, so results do not depend on the worker count.
+func BregmanBarycenterOp(op KernelOp, pmfs [][]float64, lambdas []float64, opts BregmanOptions) ([]float64, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	k := len(pmfs)
 	if k == 0 {
 		return nil, errors.New("ot: no pmfs")
@@ -189,17 +257,14 @@ func BregmanBarycenterCost(cost *CostMatrix, pmfs [][]float64, lambdas []float64
 	if err := validateBaryWeights(k, lambdas); err != nil {
 		return nil, err
 	}
-	n, m := cost.Dims()
+	n, m := op.Dims()
 	if n != m {
-		return nil, fmt.Errorf("ot: barycenter needs a square cost, got %d×%d", n, m)
+		return nil, fmt.Errorf("ot: barycenter needs a square kernel, got %d×%d", n, m)
 	}
 	for s, pmf := range pmfs {
 		if len(pmf) != n {
 			return nil, fmt.Errorf("ot: pmf %d has %d states, support has %d", s, len(pmf), n)
 		}
-	}
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 5e-3 * (1 + cost.Max())
 	}
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 2000
@@ -207,34 +272,22 @@ func BregmanBarycenterCost(cost *CostMatrix, pmfs [][]float64, lambdas []float64
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-10
 	}
-
-	// Gibbs kernel.
-	kMat := make([][]float64, n)
-	for i := range kMat {
-		kMat[i] = make([]float64, n)
-		for j := range kMat[i] {
-			kMat[i][j] = math.Exp(-cost.At(i, j) / opts.Epsilon)
-		}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > k {
+		workers = k
+	}
+	if n < bregmanParallelMin {
+		workers = 1
+	}
+
 	const tiny = 1e-300
-	matVec := func(x []float64) []float64 {
-		out := make([]float64, n)
-		for i := 0; i < n; i++ {
-			s := 0.0
-			row := kMat[i]
-			for j := 0; j < n; j++ {
-				s += row[j] * x[j]
-			}
-			if s < tiny {
-				s = tiny
-			}
-			out[i] = s
-		}
-		return out
-	}
 
-	// Normalize inputs defensively; floor zero cells so divisions stay
-	// finite (the entropic barycenter has full support anyway).
+	// Normalize inputs defensively; the tiny floor after every kernel
+	// application keeps the divisions finite even where a pmf is zero (the
+	// entropic barycenter has full support anyway).
 	p := make([][]float64, k)
 	for s := range pmfs {
 		p[s] = make([]float64, n)
@@ -254,56 +307,70 @@ func BregmanBarycenterCost(cost *CostMatrix, pmfs [][]float64, lambdas []float64
 		}
 	}
 
+	// Per-measure state and scratch, allocated once: the iteration itself
+	// allocates nothing, which is what keeps long solves (MaxIter in the
+	// thousands) off the allocator entirely.
 	v := make([][]float64, k)
-	for s := range v {
+	u := make([][]float64, k)
+	kv := make([][]float64, k)
+	ktu := make([][]float64, k)
+	for s := 0; s < k; s++ {
 		v[s] = make([]float64, n)
 		for j := range v[s] {
 			v[s][j] = 1
 		}
+		u[s] = make([]float64, n)
+		kv[s] = make([]float64, n)
+		ktu[s] = make([]float64, n)
 	}
+	logBary := make([]float64, n)
 	bary := make([]float64, n)
 	prev := make([]float64, n)
+
+	// project runs one measure's scaling update: kv = K v (floored),
+	// u = p ./ kv, ktu = K u (floored). K is symmetric, so the transposed
+	// application of the classic iteration is Apply itself.
+	project := func(s int) {
+		op.Apply(kv[s], v[s])
+		vec.Floor(kv[s], tiny)
+		vec.DivTo(u[s], p[s], kv[s])
+		op.Apply(ktu[s], u[s])
+		vec.Floor(ktu[s], tiny)
+	}
+
 	for it := 0; it < opts.MaxIter; it++ {
-		// u_s = p_s ./ (K v_s);  bary = Π_s (Kᵀ u_s)^{λ_s} (K symmetric here).
-		logBary := make([]float64, n)
-		ktu := make([][]float64, k)
-		for s := 0; s < k; s++ {
-			kv := matVec(v[s])
-			u := make([]float64, n)
-			for j := range u {
-				u[j] = p[s][j] / kv[j]
+		// u_s = p_s ./ (K v_s);  bary = Π_s (K u_s)^{λ_s}.
+		if workers == 1 {
+			for s := 0; s < k; s++ {
+				project(s)
 			}
-			ktu[s] = matVec(u)
-			for j := range logBary {
-				logBary[j] += lambdas[s] * math.Log(math.Max(ktu[s][j], tiny))
-			}
+		} else {
+			parallelRanges(workers, k, func(w, lo, hi int) {
+				for s := lo; s < hi; s++ {
+					project(s)
+				}
+			})
 		}
-		for j := range bary {
-			bary[j] = math.Exp(logBary[j])
+		for j := range logBary {
+			logBary[j] = 0
 		}
 		for s := 0; s < k; s++ {
-			for j := range v[s] {
-				v[s][j] = bary[j] / ktu[s][j]
-			}
+			vec.AxpyLog(lambdas[s], ktu[s], logBary)
 		}
-		diff := 0.0
-		for j := range bary {
-			diff += math.Abs(bary[j] - prev[j])
+		vec.ExpTo(bary, logBary)
+		for s := 0; s < k; s++ {
+			vec.DivTo(v[s], bary, ktu[s])
 		}
+		diff := vec.SumAbsDiff(bary, prev)
 		copy(prev, bary)
 		if it > 0 && diff < opts.Tol {
 			break
 		}
 	}
-	total := 0.0
-	for _, v := range bary {
-		total += v
-	}
+	total := vec.Sum(bary)
 	if total <= 0 || math.IsNaN(total) {
 		return nil, errors.New("ot: Bregman barycenter collapsed to zero mass (epsilon too small)")
 	}
-	for j := range bary {
-		bary[j] /= total
-	}
+	vec.Scale(1/total, bary)
 	return bary, nil
 }

@@ -1,0 +1,165 @@
+package ot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomGrids draws ascending per-axis grids with the given sizes (size 1
+// means a degenerate axis, like a constant feature's).
+func randomGrids(r *rand.Rand, sizes []int) [][]float64 {
+	grids := make([][]float64, len(sizes))
+	for k, nk := range sizes {
+		g := make([]float64, nk)
+		x := r.NormFloat64()
+		for i := range g {
+			g[i] = x
+			x += 0.1 + r.Float64()
+		}
+		grids[k] = g
+	}
+	return grids
+}
+
+// productPointsOf expands grids into the row-major flattened product
+// support (the test-local copy of joint's expansion).
+func productPointsOf(grids [][]float64) [][]float64 {
+	total := 1
+	for _, g := range grids {
+		total *= len(g)
+	}
+	points := make([][]float64, total)
+	idx := make([]int, len(grids))
+	for flat := 0; flat < total; flat++ {
+		p := make([]float64, len(grids))
+		for k := range grids {
+			p[k] = grids[k][idx[k]]
+		}
+		points[flat] = p
+		for k := len(grids) - 1; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < len(grids[k]) {
+				break
+			}
+			idx[k] = 0
+		}
+	}
+	return points
+}
+
+// denseOverProduct builds the dense Gibbs kernel over the product-point
+// cost matrix — the oracle the separable kernel is pinned against.
+func denseOverProduct(t *testing.T, grids [][]float64, eps float64) *DenseKernel {
+	t.Helper()
+	points := productPointsOf(grids)
+	cost, err := NewCostMatrixPoints(points, points, SquaredEuclideanPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := NewDenseGibbs(cost, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dk
+}
+
+func TestSeparableKernelMatchesDenseOnRandomProductGrids(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	shapes := [][]int{{5}, {4, 3}, {1, 6}, {3, 1, 4}, {2, 2, 2, 2}, {7, 1}}
+	for _, sizes := range shapes {
+		grids := randomGrids(r, sizes)
+		eps := 0.5 + r.Float64()
+		dk := denseOverProduct(t, grids, eps)
+		sk, err := NewSeparableGibbs(grids, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := sk.Dims()
+		if dn, _ := dk.Dims(); dn != n {
+			t.Fatalf("shape %v: dims %d vs %d", sizes, dn, n)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		got := make([]float64, n)
+		want := make([]float64, n)
+		sk.Apply(got, x)
+		dk.Apply(want, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("shape %v: Apply[%d] = %v, dense %v", sizes, i, got[i], want[i])
+			}
+		}
+		sk.ApplyT(got, x)
+		dk.ApplyT(want, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("shape %v: ApplyT[%d] = %v, dense %v", sizes, i, got[i], want[i])
+			}
+		}
+		rowS := make([]float64, n)
+		rowD := make([]float64, n)
+		for _, i := range []int{0, n / 2, n - 1} {
+			sk.Row(rowS, i)
+			dk.Row(rowD, i)
+			for j := range rowS {
+				if math.Abs(rowS[j]-rowD[j]) > 1e-13*(1+rowD[j]) {
+					t.Fatalf("shape %v: row %d state %d: %v vs %v", sizes, i, j, rowS[j], rowD[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSeparableKernelAllTrivialAxes(t *testing.T) {
+	sk, err := NewSeparableGibbs([][]float64{{3}, {7}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m := sk.Dims(); n != 1 || m != 1 {
+		t.Fatalf("dims %d×%d, want 1×1", n, m)
+	}
+	dst := []float64{0}
+	sk.Apply(dst, []float64{0.25})
+	if dst[0] != 0.25 {
+		t.Fatalf("identity apply = %v", dst[0])
+	}
+}
+
+func TestKernelConstructorValidation(t *testing.T) {
+	grids := [][]float64{{0, 1}}
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewSeparableGibbs(grids, eps); err == nil {
+			t.Errorf("separable eps %v accepted", eps)
+		}
+	}
+	cost, err := SquaredCostMatrix([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewDenseGibbs(cost, eps); err == nil {
+			t.Errorf("dense eps %v accepted", eps)
+		}
+	}
+	if _, err := NewDenseGibbs(nil, 1); err == nil {
+		t.Error("nil cost accepted")
+	}
+	if _, err := NewSeparableGibbs(nil, 1); err == nil {
+		t.Error("no axes accepted")
+	}
+	if _, err := NewSeparableGibbs([][]float64{{}}, 1); err == nil {
+		t.Error("empty axis accepted")
+	}
+	if _, err := NewSeparableFactors(nil); err == nil {
+		t.Error("no factors accepted")
+	}
+	if _, err := NewSeparableFactors([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("non-square factor accepted")
+	}
+	if _, err := NewSeparableFactors([][]float64{{1, math.NaN(), 0, 1}}); err == nil {
+		t.Error("NaN factor entry accepted")
+	}
+}

@@ -42,6 +42,20 @@ type SinkhornOptions struct {
 	KeepSubUlp bool
 }
 
+// validate rejects option values the `<= 0 means default` convention would
+// silently wave through: NaN compares false against every threshold, so a
+// NaN epsilon would otherwise survive defaulting and poison the Gibbs
+// kernel, and a NaN tolerance would disable the stopping rule entirely.
+func (o SinkhornOptions) validate() error {
+	if math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) {
+		return fmt.Errorf("ot: Sinkhorn epsilon %v is not finite", o.Epsilon)
+	}
+	if math.IsNaN(o.Tol) || math.IsInf(o.Tol, 0) {
+		return fmt.Errorf("ot: Sinkhorn tolerance %v is not finite", o.Tol)
+	}
+	return nil
+}
+
 func (o SinkhornOptions) withDefaults(cost *CostMatrix) SinkhornOptions {
 	if o.Epsilon <= 0 {
 		o.Epsilon = 1e-2 * (1 + cost.Max())
@@ -102,6 +116,9 @@ func Sinkhorn(a, b []float64, cost *CostMatrix, opts SinkhornOptions) (*Sinkhorn
 	n, m := cost.Dims()
 	if len(a) != n || len(b) != m {
 		return nil, fmt.Errorf("ot: marginals %d/%d do not match cost %d×%d", len(a), len(b), n, m)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults(cost)
 

@@ -123,8 +123,9 @@ func TestSinkhornTruncationDifferential(t *testing.T) {
 }
 
 // denseConditional expands RowConditional into a dense pmf (nil if the row
-// has no mass).
-func denseConditional(p *Plan, i, m int) []float64 {
+// has no mass). It takes the RowPlan interface, so the factored-plan
+// differential tests share it.
+func denseConditional(p RowPlan, i, m int) []float64 {
 	targets, probs, ok := p.RowConditional(i)
 	if !ok {
 		return nil

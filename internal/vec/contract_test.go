@@ -1,0 +1,206 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveMatVec is the obvious reference loop MatVec must reproduce exactly.
+func naiveMatVec(a, x []float64, n, m int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < m; j++ {
+			s += a[i*m+j] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestMatVecMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(17)
+		m := 1 + r.Intn(17)
+		a := make([]float64, n*m)
+		x := make([]float64, m)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		dst := make([]float64, n)
+		MatVec(dst, a, x)
+		want := naiveMatVec(a, x, n, m)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: MatVec[%d] = %v, want %v", trial, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatVecPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	MatVec(make([]float64, 2), make([]float64, 5), make([]float64, 2))
+}
+
+// naiveContractAxis applies the factor along the middle axis of the
+// (outer, n, inner) view by direct triple loop — the reference
+// ContractAxis's two stride regimes must agree with.
+func naiveContractAxis(x, f []float64, n, inner int) []float64 {
+	outer := len(x) / (n * inner)
+	out := make([]float64, len(x))
+	for o := 0; o < outer; o++ {
+		for a := 0; a < n; a++ {
+			for i := 0; i < inner; i++ {
+				s := 0.0
+				for b := 0; b < n; b++ {
+					s += f[a*n+b] * x[(o*n+b)*inner+i]
+				}
+				out[(o*n+a)*inner+i] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestContractAxisMatchesNaiveAllShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	// Sweep every (outer, n, inner) combination over small sizes, covering
+	// the inner == 1 Dot regime, the inner > 1 Axpy regime, length-1 axes
+	// (n == 1) and degenerate outer blocks.
+	for _, outer := range []int{1, 2, 3, 5} {
+		for _, n := range []int{1, 2, 3, 4, 7} {
+			for _, inner := range []int{1, 2, 3, 8} {
+				x := make([]float64, outer*n*inner)
+				f := make([]float64, n*n)
+				for i := range x {
+					x[i] = r.NormFloat64()
+				}
+				for i := range f {
+					f[i] = r.NormFloat64()
+				}
+				dst := make([]float64, len(x))
+				ContractAxis(dst, x, f, n, inner)
+				want := naiveContractAxis(x, f, n, inner)
+				for i := range dst {
+					if math.Abs(dst[i]-want[i]) > 1e-14*(1+math.Abs(want[i])) {
+						t.Fatalf("(outer=%d,n=%d,inner=%d): dst[%d] = %v, want %v",
+							outer, n, inner, i, dst[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestContractAxisKroneckerComposition verifies the separable identity the
+// joint design rests on: contracting each axis of a product tensor in turn
+// equals the dense Kronecker-product matvec.
+func TestContractAxisKroneckerComposition(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	dims := []int{3, 1, 4, 2} // includes a length-1 axis
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	factors := make([][]float64, len(dims))
+	for k, d := range dims {
+		factors[k] = make([]float64, d*d)
+		for i := range factors[k] {
+			factors[k][i] = math.Abs(r.NormFloat64())
+		}
+	}
+	x := make([]float64, total)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+
+	// Dense Kronecker matvec: K[i,j] = Π_k factors[k][i_k, j_k].
+	decode := func(flat int) []int {
+		idx := make([]int, len(dims))
+		for k := len(dims) - 1; k >= 0; k-- {
+			idx[k] = flat % dims[k]
+			flat /= dims[k]
+		}
+		return idx
+	}
+	want := make([]float64, total)
+	for i := 0; i < total; i++ {
+		ii := decode(i)
+		s := 0.0
+		for j := 0; j < total; j++ {
+			jj := decode(j)
+			kij := 1.0
+			for k := range dims {
+				kij *= factors[k][ii[k]*dims[k]+jj[k]]
+			}
+			s += kij * x[j]
+		}
+		want[i] = s
+	}
+
+	// Axis-by-axis contraction.
+	got := append([]float64(nil), x...)
+	tmp := make([]float64, total)
+	inner := 1
+	inners := make([]int, len(dims))
+	for k := len(dims) - 1; k >= 0; k-- {
+		inners[k] = inner
+		inner *= dims[k]
+	}
+	for k := range dims {
+		ContractAxis(tmp, got, factors[k], dims[k], inners[k])
+		copy(got, tmp)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+			t.Fatalf("state %d: contracted %v, dense Kronecker %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloorDivExpAxpyLogSweeps(t *testing.T) {
+	x := []float64{1e-320, 0.5, -2, 3}
+	Floor(x, 1e-300)
+	want := []float64{1e-300, 0.5, 1e-300, 3}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("Floor[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+
+	num := []float64{1, 2, 3}
+	den := []float64{2, 4, 8}
+	dst := make([]float64, 3)
+	DivTo(dst, num, den)
+	for i := range dst {
+		if dst[i] != num[i]/den[i] {
+			t.Fatalf("DivTo[%d] = %v", i, dst[i])
+		}
+	}
+
+	ExpTo(dst, []float64{0, 1, -1})
+	for i, v := range []float64{0, 1, -1} {
+		if dst[i] != math.Exp(v) {
+			t.Fatalf("ExpTo[%d] = %v", i, dst[i])
+		}
+	}
+
+	y := []float64{1, 1, 1}
+	AxpyLog(0.5, []float64{math.E, 1, math.E * math.E}, y)
+	wantY := []float64{1 + 0.5, 1, 2}
+	for i := range y {
+		if math.Abs(y[i]-wantY[i]) > 1e-15 {
+			t.Fatalf("AxpyLog[%d] = %v, want %v", i, y[i], wantY[i])
+		}
+	}
+}

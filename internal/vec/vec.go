@@ -182,6 +182,134 @@ func ShiftedExpSum(dst, x, y []float64) (max, sum float64) {
 	return max, sum
 }
 
+// MatVec fills dst[i] = Σ_j a[i·m+j]·x[j] for the row-major n×m matrix a,
+// with n = len(dst) and m = len(x) — the dense kernel behind ot.DenseKernel's
+// Gibbs applications. Each row is accumulated in ascending j, exactly like
+// the pre-vec scalar loop in the Bregman barycenter, so porting that solver
+// onto this kernel changes no output bit.
+func MatVec(dst, a, x []float64) {
+	n, m := len(dst), len(x)
+	if len(a) != n*m {
+		panic("vec: MatVec shape mismatch")
+	}
+	for i := 0; i < n; i++ {
+		row := a[i*m : (i+1)*m]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// ContractAxis applies the n×n row-major factor f along one axis of a
+// flattened tensor: viewing x as shape (outer, n, inner) with row-major
+// strides (len(x) = outer·n·inner),
+//
+//	dst[o, a, i] = Σ_b f[a·n+b] · x[o, b, i].
+//
+// This is the axis contraction that turns a Kronecker-product operator
+// (K₁ ⊗ … ⊗ K_d)·x into d passes costing O(N·n_k) each instead of the O(N²)
+// dense matvec — the separable Gibbs fast path of the joint design. Two
+// stride regimes keep the inner loops contiguous and bounds-check-free:
+// inner == 1 runs a Dot-style ascending accumulation per (o, a) pair over
+// adjacent memory; inner > 1 runs Axpy-style fused sweeps over the
+// contiguous length-inner blocks, overwriting on b == 0 so dst needs no
+// pre-zeroing. dst and x must not alias.
+func ContractAxis(dst, x, f []float64, n, inner int) {
+	if n <= 0 || inner <= 0 {
+		panic("vec: ContractAxis needs positive dims")
+	}
+	if len(dst) != len(x) || len(x)%(n*inner) != 0 || len(f) != n*n {
+		panic("vec: ContractAxis shape mismatch")
+	}
+	outer := len(x) / (n * inner)
+	if inner == 1 {
+		for o := 0; o < outer; o++ {
+			xo := x[o*n : (o+1)*n]
+			do := dst[o*n : (o+1)*n]
+			for a := 0; a < n; a++ {
+				row := f[a*n : (a+1)*n]
+				s := 0.0
+				for b, v := range row {
+					s += v * xo[b]
+				}
+				do[a] = s
+			}
+		}
+		return
+	}
+	block := n * inner
+	for o := 0; o < outer; o++ {
+		xo := x[o*block : (o+1)*block]
+		do := dst[o*block : (o+1)*block]
+		for a := 0; a < n; a++ {
+			row := f[a*n : (a+1)*n]
+			out := do[a*inner : (a+1)*inner]
+			v := row[0]
+			src := xo[:inner]
+			for i := range out {
+				out[i] = v * src[i]
+			}
+			for b := 1; b < n; b++ {
+				v = row[b]
+				if v == 0 {
+					continue
+				}
+				src = xo[b*inner : (b+1)*inner]
+				for i := range out {
+					out[i] += v * src[i]
+				}
+			}
+		}
+	}
+}
+
+// Floor clamps x below: x[i] = max(x[i], floor). It is the tiny-mass guard
+// the Bregman and scaling-Sinkhorn loops apply after every kernel
+// application so the following divisions stay finite.
+func Floor(x []float64, floor float64) {
+	for i, v := range x {
+		if v < floor {
+			x[i] = floor
+		}
+	}
+}
+
+// DivTo fills dst[i] = num[i] / den[i] — the marginal-ratio sweep of the
+// scaling-form OT iterations. Callers floor den first.
+func DivTo(dst, num, den []float64) {
+	if len(dst) != len(num) || len(num) != len(den) {
+		panic("vec: DivTo length mismatch")
+	}
+	for i, v := range num {
+		dst[i] = v / den[i]
+	}
+}
+
+// ExpTo fills dst[i] = exp(x[i]) — the geometric-mean exponentiation sweep
+// of the Bregman barycenter.
+func ExpTo(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("vec: ExpTo length mismatch")
+	}
+	for i, v := range x {
+		dst[i] = math.Exp(v)
+	}
+}
+
+// AxpyLog accumulates y[i] += alpha·log(x[i]) — the λ-weighted log-domain
+// geometric mean update of the Bregman barycenter. Callers floor x first;
+// the kernel itself takes no guard so it stays a pure two-op sweep.
+func AxpyLog(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: AxpyLog length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * math.Log(v)
+	}
+}
+
 // ForwardSubstQuad solves L·y = (x − mean) for a block of right-hand sides
 // sharing one packed lower-triangular factor, and writes each solution's
 // quadratic form ‖y‖² to quad. l is the factor packed row-major without the
