@@ -22,7 +22,7 @@ JOINT = BenchmarkJointDesign$$|BenchmarkJointDesignDense$$|BenchmarkJointRepair$
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
-.PHONY: build verify test vet race bench bench-micro serve-smoke
+.PHONY: build verify verify-ci test vet race soak bench bench-micro serve-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,16 @@ test:
 
 # Tier-1 verify line (see ROADMAP.md).
 verify: vet build test
+
+# CI verify: the tier-1 gate plus a known-vulnerability scan when
+# govulncheck is available (never a hard dependency — offline and
+# minimal toolchains still get the full tier-1 result).
+verify-ci: verify
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; \
+	fi
 
 # Race-certify the concurrent paths (parallel Sinkhorn sweeps, design cache,
 # parallel repair, metric fan-out, plan store, serving layer, and the shared
@@ -49,6 +59,18 @@ race:
 # metric improvement.
 serve-smoke:
 	$(GO) run ./cmd/fairserved -smoke
+
+# Deterministic fault-injection soak, under the race detector: a seeded
+# injector schedules shard panics, shard delays and store read faults
+# while a concurrent client mix (both engines, both wire formats, tiny
+# deadlines, mid-stream hangups) drives one gated server. Every 2xx must
+# be byte-identical to an unfaulted serve; every failure must carry a
+# typed status; no goroutine or spool file may survive. Scale the load
+# with SOAK_REQUESTS (default 64).
+SOAK_REQUESTS ?= 64
+soak:
+	OTFAIR_SOAK_REQUESTS=$(SOAK_REQUESTS) $(GO) test -race -count=1 \
+		-run 'TestSoak$$|TestMidStreamDisconnect$$' -v ./internal/repairsvc/
 
 # The artefact benches run whole-experiment iterations (~0.5 s/op), so two
 # are enough; the throughput benches are ~10 ms/op and need more iterations

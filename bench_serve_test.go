@@ -11,6 +11,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"otfair"
@@ -107,3 +110,76 @@ func BenchmarkServeRepairHTTP(b *testing.B) {
 	}
 	b.ReportMetric(float64(archive.Len())*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
 }
+
+// benchServeOverload offers `mult`× the admission budget in concurrent
+// repair waves and measures what the gate turns the overload into:
+// goodput (records/sec through successful requests) and the shed
+// fraction. The PERFORMANCE.md overload table comes from this bench —
+// the claim under test is that offered load beyond the budget converts
+// to cheap 429s while goodput stays at the 1× level instead of
+// collapsing under queueing.
+func benchServeOverload(b *testing.B, mult int) {
+	const gate = 4
+	plan, archive := benchServeState(b, 5000)
+	store, err := planstore.Open(b.TempDir(), planstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, _, err := store.Put(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{MaxInflight: gate})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	client := srv.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = gate * mult
+	}
+	var archiveCSV bytes.Buffer
+	if err := archive.WriteCSV(&archiveCSV); err != nil {
+		b.Fatal(err)
+	}
+	body := archiveCSV.Bytes()
+	offered := gate * mult
+	var okCount, shedCount atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < offered; c++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				resp, err := client.Post(srv.URL+"/v1/repair?plan="+id+"&seed="+strconv.Itoa(seed), "text/csv", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Error(err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					okCount.Add(1)
+				case http.StatusTooManyRequests:
+					shedCount.Add(1)
+				default:
+					b.Errorf("unexpected status %s", resp.Status)
+				}
+			}(i*offered + c + 1)
+		}
+		wg.Wait()
+	}
+	ok, shed := okCount.Load(), shedCount.Load()
+	b.ReportMetric(float64(ok)*float64(archive.Len())/b.Elapsed().Seconds(), "goodput-records/sec")
+	b.ReportMetric(float64(shed)/float64(ok+shed), "shed-fraction")
+}
+
+func BenchmarkServeOverload1x(b *testing.B) { benchServeOverload(b, 1) }
+func BenchmarkServeOverload2x(b *testing.B) { benchServeOverload(b, 2) }
+func BenchmarkServeOverload4x(b *testing.B) { benchServeOverload(b, 4) }

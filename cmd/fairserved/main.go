@@ -57,6 +57,14 @@ func main() {
 	cache := flag.Int("cache", 64, "in-memory artefact cache size (plans and calibrations each)")
 	prewarm := flag.Bool("prewarm", false, "load stored plans and calibrations into the memory tier at boot (up to -cache entries each)")
 	prune := flag.Duration("prune", 0, "delete stored artefacts older than this age at boot (0 = keep everything)")
+	maxInflight := flag.Int("max-inflight", 64, "concurrent repair requests admitted before shedding with 429 (-1 = unlimited)")
+	maxQueuedBytes := flag.Int64("max-queued-bytes", 4<<30, "total spooled request-body bytes admitted before shedding with 429 (-1 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "server-wide per-request repair budget (0 = none; requests may set ?deadline_ms=)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 0, "http.Server ReadTimeout (0 = none; bounds the whole request read, so leave 0 for large archival uploads unless fronted by a buffer)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight repairs may run after SIGTERM before the server exits anyway")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long to keep answering (503 for repairs, unready /readyz) after SIGTERM before closing the listener, so orchestrators see the readiness flip (0 = close immediately)")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	flag.Parse()
 
@@ -76,6 +84,9 @@ func main() {
 		Workers:              *workers,
 		MetricWindow:         *window,
 		CalibrationCacheSize: *cache,
+		MaxInflight:          *maxInflight,
+		MaxQueuedBytes:       *maxQueuedBytes,
+		DefaultDeadline:      *deadline,
 	})
 	if err != nil {
 		log.Fatalf("fairserved: %v", err)
@@ -114,11 +125,14 @@ func main() {
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
-	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
-	// repairs for up to 30s, then exit.
+	// Graceful shutdown: on SIGINT/SIGTERM flip readiness and refuse new
+	// repairs (BeginDrain), drain in-flight work for up to -drain-timeout,
+	// then exit regardless — a stuck request must not pin the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -136,11 +150,20 @@ func main() {
 			log.Fatalf("fairserved: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("fairserved: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		log.Printf("fairserved: draining (grace %s, up to %s)", *drainGrace, *drainTimeout)
+		handler.BeginDrain()
+		// Shutdown closes the listener immediately, so without this grace
+		// window new connections would see a TCP refusal instead of the
+		// typed 503 + failing /readyz that tells an orchestrator to stop
+		// routing here. Keep the listener up until readiness has had a
+		// chance to propagate, then stop accepting and drain.
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("fairserved: shutdown: %v", err)
+			log.Printf("fairserved: shutdown: %v (exiting with requests in flight)", err)
 		}
 	}
 }

@@ -33,6 +33,7 @@
 package blindsvc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -40,9 +41,14 @@ import (
 	"otfair/internal/blind"
 	"otfair/internal/core"
 	"otfair/internal/dataset"
+	"otfair/internal/faultinject"
 	"otfair/internal/rng"
 	"otfair/internal/shardrun"
 )
+
+// ctxCheckEvery matches repairsvc's serial-mode cancellation granularity:
+// the context is polled at most every this many records.
+const ctxCheckEvery = 64
 
 // Options configures an Engine.
 type Options struct {
@@ -56,6 +62,10 @@ type Options struct {
 	ChunkSize int
 	// Repair is passed through to every shard repairer.
 	Repair core.RepairOptions
+	// Fault is the fault-injection harness (nil in production): each shard
+	// consults the shard.slow and shard.panic points before repairing its
+	// span, mirroring repairsvc.Options.Fault.
+	Fault *faultinject.Injector
 }
 
 // withDefaults validates and defaults the sharding knobs through
@@ -241,10 +251,19 @@ func (e *Engine) batch(method blind.Method) *blind.BatchPosterior {
 // repairer. For posterior methods the span's posteriors are evaluated in
 // blocks by bp first — the vec-batched QDA fast path — and each record is
 // finished with RepairRecordPosterior, which consumes the RNG stream
-// exactly like the scalar per-record path.
-func repairSpan(rp *blind.Repairer, bp *blind.BatchPosterior, records, out []dataset.Record, lo, hi int) error {
+// exactly like the scalar per-record path. A cancelled ctx aborts with
+// ctx.Err() at the next block boundary; the output slice positions
+// already written are exactly what the uncancelled run would have
+// written (the abort only ever truncates the shard's progress, and table
+// repair discards output on any error anyway).
+func repairSpan(ctx context.Context, rp *blind.Repairer, bp *blind.BatchPosterior, records, out []dataset.Record, lo, hi int) error {
 	if bp == nil {
 		for i := lo; i < hi; i++ {
+			if ctx != nil && (i-lo)%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			rec, err := rp.RepairRecord(records[i])
 			if err != nil {
 				return fmt.Errorf("blindsvc: record %d: %w", i, err)
@@ -256,6 +275,11 @@ func repairSpan(rp *blind.Repairer, bp *blind.BatchPosterior, records, out []dat
 	const span = 1024
 	var gammas [span]float64
 	for blo := lo; blo < hi; blo += span {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		bhi := blo + span
 		if bhi > hi {
 			bhi = hi
@@ -308,6 +332,15 @@ func repairSpan(rp *blind.Repairer, bp *blind.BatchPosterior, records, out []dat
 // through the batched fast path, which is bit-identical to the scalar
 // posterior and so changes no output byte.
 func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) (*dataset.Table, blind.Stats, core.Diagnostics, error) {
+	return e.RepairTableContext(context.Background(), r, method, t)
+}
+
+// RepairTableContext is RepairTable under a context: cancellation aborts
+// the repair with ctx.Err() at the next posterior-block boundary (or
+// within ctxCheckEvery records on the scalar path) and the output table
+// is discarded whole — table repair is all-or-nothing, so cancellation
+// never surfaces a partially repaired table.
+func (e *Engine) RepairTableContext(ctx context.Context, r *rng.RNG, method blind.Method, t *dataset.Table) (*dataset.Table, blind.Stats, core.Diagnostics, error) {
 	var (
 		stats blind.Stats
 		diag  core.Diagnostics
@@ -321,17 +354,26 @@ func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) 
 	if t.Dim() != e.plan.Dim {
 		return nil, stats, diag, fmt.Errorf("blindsvc: table dimension %d does not match plan %d", t.Dim(), e.plan.Dim)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := t.Len()
 	records := t.Records()
 	repaired := make([]dataset.Record, n)
 
 	if e.opts.Workers == 1 {
-		// Serial mode consumes the caller's stream directly (no Split).
+		// Serial mode consumes the caller's stream directly (no Split);
+		// isolate it like the fan-out isolates its workers.
 		rp, err := e.repairer(r, method)
 		if err != nil {
 			return nil, stats, diag, err
 		}
-		if err := repairSpan(rp, e.batch(method), records, repaired, 0, n); err != nil {
+		err = shardrun.Isolated(func() error {
+			e.opts.Fault.Delay(faultinject.ShardSlow)
+			e.opts.Fault.Panic(faultinject.ShardPanic)
+			return repairSpan(ctx, rp, e.batch(method), records, repaired, 0, n)
+		})
+		if err != nil {
 			return nil, stats, diag, err
 		}
 		stats, diag = rp.Stats(), rp.Diagnostics()
@@ -341,12 +383,14 @@ func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) 
 		slots := shardrun.Slots(workers, n)
 		allStats := make([]blind.Stats, slots)
 		diags := make([]core.Diagnostics, slots)
-		err := shardrun.Table(r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
+		err := shardrun.Table(ctx, r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
+			e.opts.Fault.Delay(faultinject.ShardSlow)
+			e.opts.Fault.Panic(faultinject.ShardPanic)
 			rp, err := e.repairer(rr, method)
 			if err != nil {
 				return err
 			}
-			if err := repairSpan(rp, e.batch(method), records, repaired, lo, hi); err != nil {
+			if err := repairSpan(ctx, rp, e.batch(method), records, repaired, lo, hi); err != nil {
 				return err
 			}
 			allStats[w], diags[w] = rp.Stats(), rp.Diagnostics()
@@ -388,6 +432,15 @@ func (e *Engine) RepairTable(r *rng.RNG, method blind.Method, t *dataset.Table) 
 // and the error-path output the serve tests pin. Serial *table* repair has
 // no such contract and does use the fast path.
 func (e *Engine) RepairStream(r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (int, blind.Stats, core.Diagnostics, error) {
+	return e.RepairStreamContext(context.Background(), r, method, in, sink)
+}
+
+// RepairStreamContext is RepairStream under a context: cancellation
+// surfaces as ctx.Err() within ctxCheckEvery records in serial mode and
+// at the next chunk boundary in chunked mode. Either way the records the
+// sink already saw are a byte-identical prefix of the uncancelled run's
+// output — cancellation truncates, never reorders or corrupts.
+func (e *Engine) RepairStreamContext(ctx context.Context, r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (int, blind.Stats, core.Diagnostics, error) {
 	var (
 		stats blind.Stats
 		diag  core.Diagnostics
@@ -406,19 +459,26 @@ func (e *Engine) RepairStream(r *rng.RNG, method blind.Method, in dataset.Stream
 		if err != nil {
 			return 0, stats, diag, err
 		}
-		n, err := rp.RepairStream(in, sink)
+		var n int
+		err = shardrun.Isolated(func() error {
+			e.opts.Fault.Delay(faultinject.ShardSlow)
+			e.opts.Fault.Panic(faultinject.ShardPanic)
+			var serr error
+			n, serr = rp.RepairStream(dataset.WithContext(ctx, in, ctxCheckEvery), sink)
+			return serr
+		})
 		stats, diag = rp.Stats(), rp.Diagnostics()
 		e.Account(n, stats, diag)
 		return n, stats, diag, err
 	}
-	return e.repairStreamChunked(r, method, in, sink)
+	return e.repairStreamChunked(ctx, r, method, in, sink)
 }
 
 // repairStreamChunked is the parallel streaming body, delegated to
 // shardrun.Stream (per-(chunk, shard) split streams, bounded memory, serial
 // sink) with the batched posterior fast path inside each shard; emitted
 // traffic is accounted on every exit path, matching the serial mode.
-func (e *Engine) repairStreamChunked(r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (total int, stats blind.Stats, diag core.Diagnostics, err error) {
+func (e *Engine) repairStreamChunked(ctx context.Context, r *rng.RNG, method blind.Method, in dataset.Stream, sink func(dataset.Record) error) (total int, stats blind.Stats, diag core.Diagnostics, err error) {
 	defer func() { e.Account(total, stats, diag) }()
 	// A chunk never uses more shards than it has records, so per-shard
 	// state is sized by min(Workers, ChunkSize) — a request-supplied
@@ -430,8 +490,10 @@ func (e *Engine) repairStreamChunked(r *rng.RNG, method blind.Method, in dataset
 	// gather/solve scratch stays warm for the whole stream (slot w is only
 	// ever touched by chunk-c shard w, and chunks run sequentially).
 	batches := make([]*blind.BatchPosterior, slots)
-	err = shardrun.Stream(r, e.opts.shard(), in.Next,
+	err = shardrun.Stream(ctx, r, e.opts.shard(), in.Next,
 		func(_ uint64, w int, rr *rng.RNG, chunk, out []dataset.Record, lo, hi int) error {
+			e.opts.Fault.Delay(faultinject.ShardSlow)
+			e.opts.Fault.Panic(faultinject.ShardPanic)
 			rp, err := e.repairer(rr, method)
 			if err != nil {
 				return err
@@ -439,7 +501,7 @@ func (e *Engine) repairStreamChunked(r *rng.RNG, method blind.Method, in dataset
 			if method != blind.MethodPooled && batches[w] == nil {
 				batches[w] = e.batch(method)
 			}
-			if err := repairSpan(rp, batches[w], chunk, out, lo, hi); err != nil {
+			if err := repairSpan(nil, rp, batches[w], chunk, out, lo, hi); err != nil {
 				return err
 			}
 			allStats[w], diags[w] = rp.Stats(), rp.Diagnostics()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -62,7 +63,7 @@ func RepairTableParallelShared(sampler *PlanSampler, r *rng.RNG, opts RepairOpti
 	// Per-shard slots are bounded by the table, not the requested fan-out,
 	// so an absurd worker count cannot balloon the allocation.
 	diags := make([]Diagnostics, shardrun.Slots(workers, n))
-	err := shardrun.Table(r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
+	err := shardrun.Table(context.Background(), r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
 		rp, err := NewRepairerShared(sampler, rr, opts)
 		if err != nil {
 			return err

@@ -18,7 +18,43 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"otfair/internal/faultinject"
 )
+
+// QuarantineDirName is the subdirectory (per namespace) that corrupt
+// artefacts are moved to instead of being served or silently deleted:
+// quarantine preserves the evidence for the operator while guaranteeing
+// the bad bytes can never be decoded into a repair again. Each
+// quarantined artefact leaves `<id>.json` (the corrupt bytes) and
+// `<id>.reason` (why) behind; Prune sweeps both by age.
+const QuarantineDirName = "quarantine"
+
+// CorruptArtefactError reports an artefact whose disk bytes failed
+// content-fingerprint or decode validation twice in a row and were moved
+// to quarantine/. It is a terminal answer for this fingerprint — the
+// entry is gone from the store until someone re-Puts the true bytes —
+// and HTTP layers map it to a server error, not a miss.
+type CorruptArtefactError struct {
+	// Kind is the artefact noun ("plan", "calibration"); ID the
+	// fingerprint the corrupt file was stored under.
+	Kind, ID string
+	// Quarantined reports whether the move to quarantine/ succeeded; when
+	// false the corrupt file is still in place (e.g. a read-only disk)
+	// and Err carries the move failure too.
+	Quarantined bool
+	// Err is the validation failure that condemned the artefact.
+	Err error
+}
+
+func (e *CorruptArtefactError) Error() string {
+	if !e.Quarantined {
+		return fmt.Sprintf("planstore: %s %s is corrupt (quarantine failed): %v", e.Kind, e.ID, e.Err)
+	}
+	return fmt.Sprintf("planstore: %s %s is corrupt and was quarantined: %v", e.Kind, e.ID, e.Err)
+}
+
+func (e *CorruptArtefactError) Unwrap() error { return e.Err }
 
 // Decoder validates and deserializes one artefact's canonical bytes. It must
 // fail loudly on corrupted input: the store trusts it as the read-path gate.
@@ -115,6 +151,15 @@ func (a *Artefacts) PutBytes(raw []byte, value any) (id string, created bool, er
 		a.mu.Unlock()
 		return id, false, nil
 	}
+	if ferr := a.opts.Fault.Err(faultinject.StoreWrite); ferr != nil {
+		return "", false, fmt.Errorf("planstore: writing %s: %w", id, ferr)
+	}
+	// A fired torn-write fault commits truncated bytes under the live
+	// name — exactly the corruption the temp-and-rename protocol exists
+	// to rule out — and skips the LRU insert so the next Get must decode
+	// the damage from disk. The soak drives the quarantine path with it.
+	wr := a.opts.Fault.Corrupt(faultinject.StoreTornWrite, raw)
+	torn := len(wr) != len(raw)
 	// Same-directory temp file + rename: the live name either does not
 	// exist or holds the complete bytes, never a torn write.
 	tmp, err := os.CreateTemp(a.dir, id+".tmp-*")
@@ -122,7 +167,7 @@ func (a *Artefacts) PutBytes(raw []byte, value any) (id string, created bool, er
 		return "", false, fmt.Errorf("planstore: temp file: %w", err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(raw); err != nil {
+	if _, err := tmp.Write(wr); err != nil {
 		tmp.Close()
 		return "", false, a.discardTemp(fmt.Errorf("planstore: writing %s: %w", id, err), tmpName)
 	}
@@ -138,7 +183,9 @@ func (a *Artefacts) PutBytes(raw []byte, value any) (id string, created bool, er
 	}
 	a.mu.Lock()
 	a.stats.Puts++
-	a.touch(id, value)
+	if !torn {
+		a.touch(id, value)
+	}
 	a.mu.Unlock()
 	return id, true, nil
 }
@@ -161,6 +208,14 @@ func (a *Artefacts) discardTemp(writeErr error, tmpName string) error {
 // Get returns the artefact with the given fingerprint, from memory when
 // hot, decoded from disk otherwise. The returned value is shared and must
 // be treated read-only (all persisted artefacts are immutable).
+//
+// A disk load that fails validation — wrong content fingerprint or a
+// decode error — is retried once (a concurrent re-Put may have just
+// replaced the file, and a transient I/O fault deserves a second read
+// before condemning the bytes). If the retry fails the same way, the
+// file is moved to quarantine/ with a reason file and Get returns a
+// *CorruptArtefactError; the fingerprint then reads as ErrNotFound until
+// the true bytes are re-Put.
 func (a *Artefacts) Get(id string) (any, error) {
 	if !validID(id) {
 		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
@@ -175,6 +230,50 @@ func (a *Artefacts) Get(id string) (any, error) {
 	}
 	a.mu.Unlock()
 
+	value, err := a.loadDisk(id)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		a.mu.Lock()
+		a.stats.ReadRetries++
+		a.mu.Unlock()
+		value, err = a.loadDisk(id)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				return nil, err
+			}
+			var terr *loadError
+			if errors.As(err, &terr) && terr.corrupt {
+				return nil, a.quarantine(id, err)
+			}
+			return nil, err
+		}
+	}
+	a.mu.Lock()
+	a.stats.DiskHits++
+	a.touch(id, value)
+	a.mu.Unlock()
+	return value, nil
+}
+
+// loadError is one failed disk load; corrupt marks validation failures
+// (fingerprint mismatch, decode error) as opposed to I/O trouble — only
+// corruption condemns the file to quarantine.
+type loadError struct {
+	corrupt bool
+	err     error
+}
+
+func (e *loadError) Error() string { return e.err.Error() }
+func (e *loadError) Unwrap() error { return e.err }
+
+// loadDisk performs one read-and-validate attempt. A miss is returned as
+// ErrNotFound directly (never retried, never quarantined).
+func (a *Artefacts) loadDisk(id string) (any, error) {
+	if ferr := a.opts.Fault.Err(faultinject.StoreRead); ferr != nil {
+		return nil, &loadError{err: fmt.Errorf("planstore: opening %s: %w", id, ferr)}
+	}
 	raw, err := os.ReadFile(a.path(id))
 	if errors.Is(err, os.ErrNotExist) {
 		a.mu.Lock()
@@ -183,24 +282,62 @@ func (a *Artefacts) Get(id string) (any, error) {
 		return nil, fmt.Errorf("%w: %s %s", ErrNotFound, a.kind, id)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("planstore: opening %s: %w", id, err)
+		return nil, &loadError{err: fmt.Errorf("planstore: opening %s: %w", id, err)}
 	}
 	// Enforce content addressing on the read path too: the decoder
 	// validates structure, not identity, so a file renamed or restored
 	// under the wrong name would otherwise serve the wrong artefact under
 	// this fingerprint.
 	if got := fingerprint(raw); got != id {
-		return nil, fmt.Errorf("planstore: %s %s: content fingerprint is %s (file corrupted or misnamed)", a.kind, id, got)
+		return nil, &loadError{corrupt: true, err: fmt.Errorf("planstore: %s %s: content fingerprint is %s (file corrupted or misnamed)", a.kind, id, got)}
 	}
 	value, err := a.decode(raw)
 	if err != nil {
-		return nil, fmt.Errorf("planstore: %s %s: %w", a.kind, id, err)
+		return nil, &loadError{corrupt: true, err: fmt.Errorf("planstore: %s %s: %w", a.kind, id, err)}
 	}
-	a.mu.Lock()
-	a.stats.DiskHits++
-	a.touch(id, value)
-	a.mu.Unlock()
 	return value, nil
+}
+
+// QuarantineDir reports the namespace's quarantine directory (which may
+// not exist yet — it is created on first quarantine).
+func (a *Artefacts) QuarantineDir() string {
+	return filepath.Join(a.dir, QuarantineDirName)
+}
+
+// quarantine moves a twice-condemned artefact file out of the live
+// namespace into quarantine/ (same filesystem, so the move is an atomic
+// rename: the file is always fully in one place or the other), drops any
+// stale memory entry, records why in a sibling reason file, and returns
+// the *CorruptArtefactError the caller surfaces. If the move itself
+// fails, the error says so and the live file stays — better a loud
+// repeat failure than losing the evidence.
+func (a *Artefacts) quarantine(id string, cause error) error {
+	cerr := &CorruptArtefactError{Kind: a.kind, ID: id, Err: cause}
+	a.mu.Lock()
+	if el, ok := a.cache[id]; ok {
+		a.lru.Remove(el)
+		delete(a.cache, id)
+	}
+	a.stats.Quarantined++
+	a.mu.Unlock()
+	qdir := a.QuarantineDir()
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		cerr.Err = errors.Join(cause, fmt.Errorf("planstore: creating %s: %w", qdir, err))
+		return cerr
+	}
+	if err := os.Rename(a.path(id), filepath.Join(qdir, id+".json")); err != nil && !errors.Is(err, os.ErrNotExist) {
+		cerr.Err = errors.Join(cause, fmt.Errorf("planstore: quarantining %s: %w", id, err))
+		return cerr
+	}
+	cerr.Quarantined = true
+	reason := fmt.Sprintf("kind: %s\nid: %s\nquarantined: %s\nreason: %v\n",
+		a.kind, id, time.Now().UTC().Format(time.RFC3339), cause)
+	if err := os.WriteFile(filepath.Join(qdir, id+".reason"), []byte(reason), 0o644); err != nil {
+		// The bad bytes are already out of the live set; a failed reason
+		// file must not resurrect them. Surface it in the chain instead.
+		cerr.Err = errors.Join(cause, fmt.Errorf("planstore: writing quarantine reason for %s: %w", id, err))
+	}
+	return cerr
 }
 
 // Has reports whether the fingerprint exists in memory or on disk, without
@@ -262,8 +399,9 @@ func (a *Artefacts) IDs() ([]string, error) {
 
 // Prune enforces an age-based retention policy: every artefact whose file
 // modification time is older than maxAge is removed from disk and dropped
-// from the LRU, and so are abandoned temp files from crashed writes. It
-// returns the number of artefacts removed.
+// from the LRU, and so are abandoned temp files from crashed writes and
+// aged-out quarantine/ evidence (corrupt bytes and reason files). It
+// returns the number of artefacts removed, quarantined ones included.
 //
 // Content addressing is what makes TTL retention safe: a pruned artefact
 // that is still needed is simply re-Put under the identical fingerprint by
@@ -312,6 +450,35 @@ func (a *Artefacts) Prune(maxAge time.Duration) (removed int, err error) {
 			if rerr := removeFile(filepath.Join(a.dir, name)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
 				return removed, fmt.Errorf("planstore: pruning %s: %w", name, rerr)
 			}
+		}
+	}
+	// Sweep quarantine/ by the same age policy: quarantined bytes and
+	// their reason files are operator evidence, not live data, and must
+	// not accumulate forever. (The dir-skip in the main loop above is what
+	// used to leave quarantine untouched.) Each quarantined artefact
+	// counts once, by its .json; reason files ride along.
+	qdir := a.QuarantineDir()
+	qentries, qerr := os.ReadDir(qdir)
+	if qerr != nil {
+		if errors.Is(qerr, os.ErrNotExist) {
+			return removed, nil
+		}
+		return removed, fmt.Errorf("planstore: listing %s: %w", qdir, qerr)
+	}
+	for _, e := range qentries {
+		if e.IsDir() {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil || !info.ModTime().Before(cutoff) {
+			continue
+		}
+		name := e.Name()
+		if rerr := removeFile(filepath.Join(qdir, name)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			return removed, fmt.Errorf("planstore: pruning quarantine/%s: %w", name, rerr)
+		}
+		if strings.HasSuffix(name, ".json") {
+			removed++
 		}
 	}
 	return removed, nil

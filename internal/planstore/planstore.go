@@ -21,7 +21,10 @@
 // (DesignIndex). Writes go through a same-directory temp file and rename,
 // so a crash mid-write can never leave a live truncated entry; every load
 // re-validates through the artefact's full deserializer, so a corrupted
-// file fails loudly instead of repairing data with garbage.
+// file fails loudly instead of repairing data with garbage — loudly and
+// terminally: a file that fails validation twice is moved to
+// `quarantine/<id>.json` with a `<id>.reason` note and surfaces as a
+// typed *CorruptArtefactError until the true bytes are re-stored.
 package planstore
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"otfair/internal/core"
+	"otfair/internal/faultinject"
 )
 
 // ErrNotFound reports a fingerprint absent from both memory and disk.
@@ -47,6 +51,11 @@ type Options struct {
 	// called — artefacts are a few hundred kilobytes at paper scale and
 	// the store is the durability tier.
 	CacheSize int
+	// Fault is the fault-injection harness (nil in production): reads
+	// consult store.read, writes consult store.write and store.torn-write,
+	// so the soak can exercise the retry and quarantine paths
+	// deterministically.
+	Fault *faultinject.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +79,10 @@ type Stats struct {
 	Puts, DupPuts uint64
 	// Evictions counts LRU drops (the disk copy always remains).
 	Evictions uint64
+	// ReadRetries counts disk loads that failed once and were retried;
+	// Quarantined counts artefacts moved to quarantine/ after the retry
+	// also failed. Both feed the serving layer's resilience metrics.
+	ReadRetries, Quarantined uint64
 }
 
 // fingerprint is the single hash-to-ID encoding every namespace keys by,
@@ -138,10 +151,14 @@ func (st *Store) Delete(id string) error { return st.a.Delete(id) }
 func (st *Store) IDs() ([]string, error) { return st.a.IDs() }
 
 // Prune removes every plan older than maxAge from disk and memory,
-// together with abandoned temp files; see Artefacts.Prune for why content
-// addressing makes TTL retention safe. It returns the number of plans
-// removed.
+// together with abandoned temp files and aged-out quarantine/ evidence;
+// see Artefacts.Prune for why content addressing makes TTL retention
+// safe. It returns the number of plans removed.
 func (st *Store) Prune(maxAge time.Duration) (int, error) { return st.a.Prune(maxAge) }
+
+// QuarantineDir reports where corrupt plans are moved; see
+// Artefacts.QuarantineDir.
+func (st *Store) QuarantineDir() string { return st.a.QuarantineDir() }
 
 // Stats returns a snapshot of the cumulative counters.
 func (st *Store) Stats() Stats { return st.a.Stats() }

@@ -24,15 +24,22 @@
 package repairsvc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"otfair/internal/core"
 	"otfair/internal/dataset"
+	"otfair/internal/faultinject"
 	"otfair/internal/rng"
 	"otfair/internal/shardrun"
 )
+
+// ctxCheckEvery is how many records the serial streaming path repairs
+// between context polls: cancellation lands within this many records, and
+// the hot path pays a counter decrement, not a context mutex, per record.
+const ctxCheckEvery = 64
 
 // Options configures an Engine.
 type Options struct {
@@ -47,6 +54,10 @@ type Options struct {
 	ChunkSize int
 	// Repair is passed through to every shard repairer.
 	Repair core.RepairOptions
+	// Fault is the fault-injection harness (nil in production): each shard
+	// consults the shard.slow and shard.panic points before repairing its
+	// span, so the soak can exercise slow workers and panic isolation.
+	Fault *faultinject.Injector
 }
 
 // withDefaults validates and defaults the sharding knobs through
@@ -149,6 +160,16 @@ func (e *Engine) account(n int, d core.Diagnostics) {
 // byte-identical to core.RepairTableParallel with w workers, including its
 // clamp to a single Split(0) shard on tables smaller than w.
 func (e *Engine) RepairTable(r *rng.RNG, t *dataset.Table) (*dataset.Table, core.Diagnostics, error) {
+	return e.RepairTableContext(context.Background(), r, t)
+}
+
+// RepairTableContext is RepairTable under a context: a ctx already
+// cancelled at entry fails before any repair with ctx.Err(). Table repair
+// is all-or-nothing (the output table is returned whole or not at all),
+// so unlike the streaming path there is no truncation contract to honour
+// mid-table; the entry check is what a serving layer needs to drop work
+// for an abandoned request before paying for it.
+func (e *Engine) RepairTableContext(ctx context.Context, r *rng.RNG, t *dataset.Table) (*dataset.Table, core.Diagnostics, error) {
 	var diag core.Diagnostics
 	if r == nil {
 		return nil, diag, errors.New("repairsvc: nil rng")
@@ -159,12 +180,27 @@ func (e *Engine) RepairTable(r *rng.RNG, t *dataset.Table) (*dataset.Table, core
 	if t.Dim() != e.plan.Dim {
 		return nil, diag, fmt.Errorf("repairsvc: table dimension %d does not match plan %d", t.Dim(), e.plan.Dim)
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, diag, err
+		}
+	}
 	if e.opts.Workers == 1 {
 		rp, err := core.NewRepairerShared(e.sampler, r, e.opts.Repair)
 		if err != nil {
 			return nil, diag, err
 		}
-		out, err := rp.RepairTable(t)
+		var out *dataset.Table
+		// Serial table repair runs in the calling goroutine; isolate it the
+		// way the fan-out isolates its workers, so a panicking repair fails
+		// this request with a typed error instead of the process.
+		err = shardrun.Isolated(func() error {
+			e.opts.Fault.Delay(faultinject.ShardSlow)
+			e.opts.Fault.Panic(faultinject.ShardPanic)
+			var rerr error
+			out, rerr = rp.RepairTable(t)
+			return rerr
+		})
 		if err != nil {
 			return nil, diag, err
 		}
@@ -187,6 +223,18 @@ func (e *Engine) RepairTable(r *rng.RNG, t *dataset.Table) (*dataset.Table, core
 // holding at most one chunk in memory. The sink always runs serially, in
 // order, from the calling goroutine.
 func (e *Engine) RepairStream(r *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, core.Diagnostics, error) {
+	return e.RepairStreamContext(context.Background(), r, in, sink)
+}
+
+// RepairStreamContext is RepairStream under a context — the serving
+// layer's per-request deadline and client-disconnect path. Cancellation
+// surfaces as ctx.Err() within ctxCheckEvery records (serial mode) or at
+// the next chunk boundary (chunked mode), and only ever truncates the
+// sink's output: every record delivered before the cancellation is
+// byte-identical to the uncancelled run at the same seed, because the
+// contiguous-shard RNG split formula depends on positions and chunk
+// indices, never on where the stream stops.
+func (e *Engine) RepairStreamContext(ctx context.Context, r *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, core.Diagnostics, error) {
 	var diag core.Diagnostics
 	if r == nil {
 		return 0, diag, errors.New("repairsvc: nil rng")
@@ -197,31 +245,43 @@ func (e *Engine) RepairStream(r *rng.RNG, in dataset.Stream, sink func(dataset.R
 	if in.Dim() != e.plan.Dim {
 		return 0, diag, fmt.Errorf("repairsvc: stream dimension %d does not match plan %d", in.Dim(), e.plan.Dim)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if e.opts.Workers <= 1 {
 		rp, err := core.NewRepairerShared(e.sampler, r, e.opts.Repair)
 		if err != nil {
 			return 0, diag, err
 		}
-		n, err := rp.RepairStream(in, sink)
+		var n int
+		err = shardrun.Isolated(func() error {
+			e.opts.Fault.Delay(faultinject.ShardSlow)
+			e.opts.Fault.Panic(faultinject.ShardPanic)
+			var serr error
+			n, serr = rp.RepairStream(dataset.WithContext(ctx, in, ctxCheckEvery), sink)
+			return serr
+		})
 		diag = rp.Diagnostics()
 		e.account(n, diag)
 		return n, diag, err
 	}
-	return e.repairStreamChunked(r, in, sink)
+	return e.repairStreamChunked(ctx, r, in, sink)
 }
 
 // repairStreamChunked is the parallel streaming body, delegated to
 // shardrun.Stream (per-(chunk, shard) split streams, bounded memory, serial
 // sink); emitted traffic is accounted on every exit path, matching the
 // serial mode.
-func (e *Engine) repairStreamChunked(r *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (total int, diag core.Diagnostics, err error) {
+func (e *Engine) repairStreamChunked(ctx context.Context, r *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (total int, diag core.Diagnostics, err error) {
 	defer func() { e.account(total, diag) }()
 	// A chunk never uses more shards than it has records, so per-shard
 	// state is sized by min(Workers, ChunkSize) — a request-supplied
 	// fan-out of a billion must not balloon the allocation.
 	diags := make([]core.Diagnostics, shardrun.Slots(e.opts.Workers, e.opts.ChunkSize))
-	err = shardrun.Stream(r, e.opts.shard(), in.Next,
+	err = shardrun.Stream(ctx, r, e.opts.shard(), in.Next,
 		func(_ uint64, w int, rr *rng.RNG, chunk, out []dataset.Record, lo, hi int) error {
+			e.opts.Fault.Delay(faultinject.ShardSlow)
+			e.opts.Fault.Panic(faultinject.ShardPanic)
 			rp, err := core.NewRepairerShared(e.sampler, rr, e.opts.Repair)
 			if err != nil {
 				return err

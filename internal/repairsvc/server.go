@@ -1,6 +1,7 @@
 package repairsvc
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,12 +11,15 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"otfair/internal/blind"
 	"otfair/internal/blindsvc"
 	"otfair/internal/core"
 	"otfair/internal/dataset"
 	"otfair/internal/fairmetrics"
+	"otfair/internal/faultinject"
 	"otfair/internal/kde"
 	"otfair/internal/monitor"
 	"otfair/internal/planstore"
@@ -57,6 +61,26 @@ type ServerOptions struct {
 	// memory without limit; the least-recently-used engine is evicted and
 	// rebinds transparently on the next touch.
 	MaxBoundCalibrations int
+	// MaxInflight bounds concurrently admitted repair requests
+	// (default 64, -1 = unlimited). Excess load is shed with 429 and a
+	// Retry-After hint instead of queueing without bound.
+	MaxInflight int
+	// MaxQueuedBytes bounds the total request-body bytes spooled to disk
+	// across all admitted repair requests (default 4 GiB, -1 = unlimited).
+	// A spool that would exceed it is shed with 429 mid-upload.
+	MaxQueuedBytes int64
+	// DefaultDeadline is the server-wide per-request repair budget
+	// (0 = none). Requests may tighten or set it with ?deadline_ms=; a
+	// blown budget aborts the repair at the engines' cancellation
+	// boundaries and answers 503 when no byte has been sent.
+	DefaultDeadline time.Duration
+	// RetryAfterSeconds is the Retry-After hint on shed and draining
+	// responses (default 1).
+	RetryAfterSeconds int
+	// Fault is the fault-injection harness (nil in production), passed
+	// through to every engine the server binds. The stores carry their
+	// own injector via planstore.Options.
+	Fault *faultinject.Injector
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -74,6 +98,15 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.MaxBoundCalibrations <= 0 {
 		o.MaxBoundCalibrations = 8
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 64
+	}
+	if o.MaxQueuedBytes == 0 {
+		o.MaxQueuedBytes = 4 << 30
+	}
+	if o.RetryAfterSeconds <= 0 {
+		o.RetryAfterSeconds = 1
 	}
 	return o
 }
@@ -99,6 +132,9 @@ var errCalibrationMismatch = errors.New("repairsvc: calibration/plan mismatch")
 // errStatusOr is errStatus with a caller-chosen fallback for errors the
 // mapping does not recognize.
 func errStatusOr(err error, fallback int) int {
+	if code, ok := resilienceStatus(err); ok {
+		return code
+	}
 	var tooBig *http.MaxBytesError
 	switch {
 	case errors.As(err, &tooBig):
@@ -127,16 +163,24 @@ func errStatusOr(err error, fallback int) int {
 //	                             ?calibration=<id> the stream may carry no
 //	                             s labels (blind repair)
 //	GET  /v1/metrics             serving counters, drift and E per plan,
-//	                             plus per-calibration blind telemetry
-//	GET  /healthz                liveness
+//	                             plus per-calibration blind telemetry and
+//	                             the server-wide resilience counters
+//	GET  /healthz                liveness (200 as long as the process runs)
+//	GET  /readyz                 readiness (503 while draining or when the
+//	                             store fails a writability round-trip)
 //
 // It is an http.Handler; wrap it in an http.Server for timeouts and
-// graceful shutdown (cmd/fairserved does).
+// graceful shutdown (cmd/fairserved does, calling BeginDrain first so
+// readiness flips before the listener closes).
 type Server struct {
 	store *planstore.Store
 	cals  *planstore.CalibrationStore
 	opts  ServerOptions
 	mux   *http.ServeMux
+
+	gate     admission
+	draining atomic.Bool
+	res      resilienceCounters
 
 	mu     sync.Mutex
 	states map[string]*planState
@@ -221,7 +265,7 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("repairsvc: nil store")
 	}
-	cals, err := planstore.OpenCalibrations(store.Dir(), planstore.Options{CacheSize: opts.CalibrationCacheSize})
+	cals, err := planstore.OpenCalibrations(store.Dir(), planstore.Options{CacheSize: opts.CalibrationCacheSize, Fault: opts.Fault})
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +276,9 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 		mux:    http.NewServeMux(),
 		states: make(map[string]*planState),
 	}
+	s.gate = admission{maxInflight: s.opts.MaxInflight, maxBytes: s.opts.MaxQueuedBytes}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /v1/plans", s.handlePlansPost)
 	s.mux.HandleFunc("GET /v1/plans", s.handlePlansList)
 	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
@@ -308,7 +354,7 @@ func (s *Server) state(id string) (*planState, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine, err := NewEngine(plan, Options{Workers: s.opts.Workers})
+	engine, err := NewEngine(plan, Options{Workers: s.opts.Workers, Fault: s.opts.Fault})
 	if err != nil {
 		return nil, err
 	}
@@ -374,11 +420,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// handleHealth is pure liveness: 200 for as long as the process can
+// serve anything at all, draining included (restarting a draining server
+// would defeat the drain). Routability belongs to /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	bound := len(s.states)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "bound_plans": bound})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "bound_plans": bound, "draining": s.draining.Load()})
 }
 
 // designOptionsFromQuery assembles core design options from request query
@@ -518,9 +567,46 @@ func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
 //	             same seed
 //	workers      shard fan-out (default: server-wide setting)
 //	format       csv (default) or ndjson, for both directions
+//	deadline_ms  per-request repair budget in milliseconds; overrides the
+//	             server-wide default. A blown budget aborts at the
+//	             engines' cancellation boundaries: 503 when nothing was
+//	             sent, a truncated (aborted) transfer otherwise.
+//
+// Admission is bounded: past MaxInflight concurrent repairs or
+// MaxQueuedBytes of spooled bodies the request is shed with 429 and a
+// Retry-After hint, before it costs an engine or the store anything.
+// A draining server refuses new repairs with 503.
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.refuseDraining(w)
+		return
+	}
+	if !s.gate.tryAcquire() {
+		s.shed(w, "concurrent repair budget exhausted")
+		return
+	}
+	defer s.gate.release()
+
 	s.limitBody(w, r)
 	q := r.URL.Query()
+
+	// The request context carries the client disconnect; layer the
+	// deadline budget (request override, then server default) on top.
+	ctx := r.Context()
+	budget := s.opts.DefaultDeadline
+	if v := q.Get("deadline_ms"); v != "" {
+		ms, derr := strconv.ParseInt(v, 10, 64)
+		if derr != nil || ms <= 0 {
+			httpError(w, http.StatusBadRequest, "bad deadline_ms %q", v)
+			return
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
 	id := q.Get("plan")
 	calID := q.Get("calibration")
 	if id == "" && calID == "" {
@@ -543,7 +629,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	// primary counters.
 	var (
 		ps  *planState
-		run func(*rng.RNG, dataset.Stream, func(dataset.Record) error) (int, error)
+		run func(context.Context, *rng.RNG, dataset.Stream, func(dataset.Record) error) (int, error)
 		err error
 	)
 	if calID == "" {
@@ -559,8 +645,8 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		run = func(rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
-			n, diag, err := engine.RepairStream(rg, in, sink)
+		run = func(rctx context.Context, rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
+			n, diag, err := engine.RepairStreamContext(rctx, rg, in, sink)
 			if engine != ps.engine {
 				ps.engine.account(n, diag)
 			}
@@ -585,8 +671,8 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		run = func(rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
-			n, st, diag, err := engine.RepairStream(rg, method, in, sink)
+		run = func(rctx context.Context, rg *rng.RNG, in dataset.Stream, sink func(dataset.Record) error) (int, error) {
+			n, st, diag, err := engine.RepairStreamContext(rctx, rg, method, in, sink)
 			if engine != primary {
 				primary.Account(n, st, diag)
 			}
@@ -622,7 +708,16 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer spool.Close()
-	if _, err := io.Copy(spool, r.Body); err != nil {
+	// The spool draws on the server-wide queued-bytes budget for the
+	// request's whole lifetime (the bytes occupy the disk until the spool
+	// closes, not just while they upload).
+	reserved, err := s.spoolBody(spool, r.Body)
+	defer s.gate.free(reserved)
+	if err != nil {
+		if errors.Is(err, errShed) {
+			s.shed(w, "queued-bytes budget exhausted")
+			return
+		}
 		httpError(w, errStatusOr(err, http.StatusBadRequest), "reading request: %v", err)
 		return
 	}
@@ -680,18 +775,27 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return sink(rec)
 	}
 
-	n, err := run(rng.New(seed), tapped, repairedSink)
+	n, err := run(ctx, rng.New(seed), tapped, repairedSink)
 	if err != nil {
+		s.noteFailure(ctx, err)
 		if !tw.started {
-			// Nothing sent yet (e.g. dimension mismatch, bad first record):
-			// the client gets a clean JSON error.
-			httpError(w, http.StatusUnprocessableEntity, "repair failed after %d records: %v", n, err)
+			// Nothing sent yet: the client gets a clean, typed JSON error —
+			// 503 for a blown deadline, 500 for a worker panic or a corrupt
+			// artefact, 422 for a bad stream (e.g. dimension mismatch, bad
+			// first record). A vanished client gets the aborted connection
+			// it can no longer observe.
+			if errors.Is(err, context.Canceled) {
+				panic(http.ErrAbortHandler)
+			}
+			httpError(w, errStatusOr(err, http.StatusUnprocessableEntity), "repair failed after %d records: %v", n, err)
 			return
 		}
 		// Mid-stream: abort the connection so the client observes a failed
 		// transfer (no terminating chunk) instead of a complete-looking 200
 		// with silently missing records. ErrAbortHandler is net/http's
-		// sanctioned way to do exactly this.
+		// sanctioned way to do exactly this. Deadline and disconnect land
+		// here too: cancellation truncates the stream at an engine
+		// boundary, and the abort is what makes the truncation loud.
 		panic(http.ErrAbortHandler)
 	}
 	if err := finish(); err != nil {
@@ -841,6 +945,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		"metric":            metric,
 		"blind":             blindMetrics(ps),
+		"resilience":        s.resilienceSnapshot(),
 		"store":             s.store.Stats(),
 		"calibration_store": s.cals.Stats(),
 		"design_cache": map[string]uint64{

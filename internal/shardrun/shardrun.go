@@ -21,13 +21,27 @@
 //     reproducible regardless of scheduling and of how the reader frames
 //     its input. The drain (sink) always runs serially, in input order,
 //     from the calling goroutine, and at most one chunk is in memory.
+//
+// Cancellation contract (the resilience layer's addition): Table and
+// Stream take a context and stop promptly when it is cancelled —
+// between shards' launch in table mode, and between chunks (never inside
+// a delivered chunk) in stream mode — returning ctx.Err(). Cancellation
+// can only truncate output at those boundaries: every record the sink saw
+// was produced by the same per-(chunk, shard) split stream it would have
+// used in a full run, so a cancelled stream's output is a byte-identical
+// prefix (at chunk granularity) of the uncancelled one. Worker panics are
+// isolated per shard: a panicking shard closure fails the run with a
+// typed *ShardPanicError carrying the shard's coordinates instead of
+// killing the process.
 package shardrun
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"otfair/internal/rng"
@@ -110,25 +124,79 @@ func firstErr(errs []error) error {
 	return nil
 }
 
+// ShardPanicError reports a panic inside one shard closure, converted to
+// an error so a panicking worker fails only the request that ran it — the
+// serving process and every other in-flight request survive. The shard's
+// coordinates identify exactly which slice of which chunk was being
+// repaired when the worker died.
+type ShardPanicError struct {
+	// Chunk is the stream-mode chunk index (always 0 in table mode).
+	Chunk uint64
+	// Stream reports which mode the shard ran in.
+	Stream bool
+	// Shard is the shard index; [Lo, Hi) is the index range it covered.
+	Shard, Lo, Hi int
+	// Value is the recovered panic value; Stack the worker's stack at the
+	// point of the panic.
+	Value any
+	Stack []byte
+}
+
+func (e *ShardPanicError) Error() string {
+	if e.Stream {
+		return fmt.Sprintf("shardrun: panic in chunk %d shard %d [%d,%d): %v", e.Chunk, e.Shard, e.Lo, e.Hi, e.Value)
+	}
+	return fmt.Sprintf("shardrun: panic in shard %d [%d,%d): %v", e.Shard, e.Lo, e.Hi, e.Value)
+}
+
+// callShard runs one shard closure with panic isolation: a panic becomes
+// a typed *ShardPanicError instead of unwinding into the runner (and,
+// for goroutine shards, killing the process).
+func callShard(chunk uint64, stream bool, w, lo, hi int, f func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &ShardPanicError{Chunk: chunk, Stream: stream, Shard: w, Lo: lo, Hi: hi, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
+// Isolated runs f under the same panic isolation the shard runners apply,
+// for the engines' serial (workers == 1) paths that bypass the fan-out:
+// a panic inside f returns as a *ShardPanicError for shard 0 instead of
+// unwinding into the caller.
+func Isolated(f func() error) error {
+	return callShard(0, false, 0, 0, 0, f)
+}
+
 // Table fans the index range [0, n) across contiguous shards. Shard w
 // covers [w·n/W, (w+1)·n/W) and receives the child stream r.Split(w),
 // where W = min(workers, n); when fewer than two shards remain after the
 // clamp, the whole range runs as one shard on r.Split(0) in the calling
 // goroutine. The shard closure owns all per-shard state (repairers,
 // diagnostics slots); Table only orchestrates. On error the
-// lowest-indexed shard's error is returned.
-func Table(r *rng.RNG, workers, n int, shard func(shard int, r *rng.RNG, lo, hi int) error) error {
+// lowest-indexed shard's error is returned; a panicking shard yields a
+// *ShardPanicError. A ctx already cancelled at entry returns ctx.Err()
+// before any shard runs (prompt cancellation inside a running shard is
+// the closure's job — the engines check ctx at span granularity).
+func Table(ctx context.Context, r *rng.RNG, workers, n int, shard func(shard int, r *rng.RNG, lo, hi int) error) error {
 	if r == nil {
 		return errors.New("shardrun: nil rng")
 	}
 	if shard == nil {
 		return errors.New("shardrun: nil shard func")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return shard(0, r.Split(0), 0, n)
+		return callShard(0, false, 0, 0, n, func() error { return shard(0, r.Split(0), 0, n) })
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -138,7 +206,7 @@ func Table(r *rng.RNG, workers, n int, shard func(shard int, r *rng.RNG, lo, hi 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = shard(w, r.Split(uint64(w)), lo, hi)
+			errs[w] = callShard(0, false, w, lo, hi, func() error { return shard(w, r.Split(uint64(w)), lo, hi) })
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -160,8 +228,12 @@ func Table(r *rng.RNG, workers, n int, shard func(shard int, r *rng.RNG, lo, hi 
 //
 // A read error aborts immediately (records already read in the aborted
 // chunk are dropped, never repaired); a shard error aborts before drain,
-// so a chunk reaches the sink all-or-nothing.
+// so a chunk reaches the sink all-or-nothing. Cancelling ctx aborts with
+// ctx.Err() at the next chunk boundary — before the chunk is read, and
+// again before it is drained — so a cancelled stream's sink saw a
+// byte-identical prefix (whole chunks) of the uncancelled run's output.
 func Stream[T any](
+	ctx context.Context,
 	r *rng.RNG,
 	opts Options,
 	next func() (T, error),
@@ -180,6 +252,9 @@ func Stream[T any](
 	if drain == nil {
 		return errors.New("shardrun: nil drain func")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts, err := opts.WithDefaults()
 	if err != nil {
 		return err
@@ -188,6 +263,9 @@ func Stream[T any](
 	out := make([]T, opts.ChunkSize)
 	var chunkIdx uint64
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		in = in[:0]
 		var streamErr error
 		for len(in) < opts.ChunkSize {
@@ -203,6 +281,12 @@ func Stream[T any](
 		}
 		if len(in) > 0 {
 			if err := runChunk(r, chunkIdx, opts.Workers, in, out, shard); err != nil {
+				return err
+			}
+			// Cancelled while the shards ran: drop the completed chunk
+			// rather than drain it — the contract is truncation at a chunk
+			// boundary, and a caller that cancelled wants no more output.
+			if err := ctx.Err(); err != nil {
 				return err
 			}
 			if err := drain(out[:len(in)]); err != nil {
@@ -225,7 +309,9 @@ func runChunk[T any](r *rng.RNG, chunk uint64, workers int, in, out []T, shard f
 		workers = n
 	}
 	if workers <= 1 {
-		return shard(chunk, 0, r.Split(chunk*streamStride), in, out, 0, n)
+		return callShard(chunk, true, 0, 0, n, func() error {
+			return shard(chunk, 0, r.Split(chunk*streamStride), in, out, 0, n)
+		})
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -235,7 +321,9 @@ func runChunk[T any](r *rng.RNG, chunk uint64, workers int, in, out []T, shard f
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = shard(chunk, w, r.Split(chunk*streamStride+uint64(w)), in, out, lo, hi)
+			errs[w] = callShard(chunk, true, w, lo, hi, func() error {
+				return shard(chunk, w, r.Split(chunk*streamStride+uint64(w)), in, out, lo, hi)
+			})
 		}(w, lo, hi)
 	}
 	wg.Wait()

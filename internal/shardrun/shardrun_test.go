@@ -1,6 +1,7 @@
 package shardrun
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -65,7 +66,7 @@ func tableTrace(t *testing.T, seed uint64, workers, n int) (shards []int, draws 
 	t.Helper()
 	shards = make([]int, n)
 	draws = make([]uint64, n)
-	err := Table(rng.New(seed), workers, n, func(w int, r *rng.RNG, lo, hi int) error {
+	err := Table(context.Background(), rng.New(seed), workers, n, func(w int, r *rng.RNG, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			shards[i] = w
 			draws[i] = r.Uint64()
@@ -138,7 +139,7 @@ func TestTableClampInvariance(t *testing.T) {
 // TestTableErrorPropagation returns the lowest-indexed shard error.
 func TestTableErrorPropagation(t *testing.T) {
 	boom := errors.New("boom")
-	err := Table(rng.New(1), 4, 100, func(w int, r *rng.RNG, lo, hi int) error {
+	err := Table(context.Background(), rng.New(1), 4, 100, func(w int, r *rng.RNG, lo, hi int) error {
 		if w >= 2 {
 			return fmt.Errorf("shard %d: %w", w, boom)
 		}
@@ -192,7 +193,7 @@ func rebufferedSource(xs []int, frames []int) func() (int, error) {
 func streamTrace(t *testing.T, opts Options, next func() (int, error)) (calls []string, out []int) {
 	t.Helper()
 	var mu sync.Mutex
-	err := Stream(rng.New(9), opts, next,
+	err := Stream(context.Background(), rng.New(9), opts, next,
 		func(chunk uint64, w int, r *rng.RNG, in, dst []int, lo, hi int) error {
 			mu.Lock()
 			calls = append(calls, fmt.Sprintf("c%d w%d [%d,%d) %d", chunk, w, lo, hi, r.Uint64()))
@@ -260,7 +261,7 @@ func TestStreamSlowAdversarialSink(t *testing.T) {
 	}
 	run := func() []int {
 		var out []int
-		err := Stream(rng.New(5), Options{Workers: 4, ChunkSize: 32}, sliceSource(xs),
+		err := Stream(context.Background(), rng.New(5), Options{Workers: 4, ChunkSize: 32}, sliceSource(xs),
 			func(chunk uint64, w int, r *rng.RNG, in, dst []int, lo, hi int) error {
 				for i := lo; i < hi; i++ {
 					dst[i] = in[i] + int(r.Uint64()%1000)
@@ -300,7 +301,7 @@ func TestStreamErrors(t *testing.T) {
 
 	reads := 0
 	var drained int
-	err := Stream(rng.New(1), Options{Workers: 2, ChunkSize: 4},
+	err := Stream(context.Background(), rng.New(1), Options{Workers: 2, ChunkSize: 4},
 		func() (int, error) {
 			reads++
 			if reads > 6 {
@@ -318,7 +319,7 @@ func TestStreamErrors(t *testing.T) {
 	}
 
 	drains := 0
-	err = Stream(rng.New(1), Options{Workers: 2, ChunkSize: 4}, sliceSource([]int{1, 2, 3, 4, 5}),
+	err = Stream(context.Background(), rng.New(1), Options{Workers: 2, ChunkSize: 4}, sliceSource([]int{1, 2, 3, 4, 5}),
 		func(chunk uint64, w int, r *rng.RNG, in, dst []int, lo, hi int) error {
 			if chunk == 1 {
 				return boom
@@ -330,7 +331,7 @@ func TestStreamErrors(t *testing.T) {
 		t.Fatalf("shard error: err=%v drains=%d, want boom after 1 drain", err, drains)
 	}
 
-	err = Stream(rng.New(1), Options{Workers: 2, ChunkSize: 4}, sliceSource([]int{1, 2, 3}),
+	err = Stream(context.Background(), rng.New(1), Options{Workers: 2, ChunkSize: 4}, sliceSource([]int{1, 2, 3}),
 		copyShard,
 		func(dst []int) error { return boom })
 	if !errors.Is(err, boom) {
