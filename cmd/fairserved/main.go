@@ -21,6 +21,15 @@
 //	    'localhost:8080/v1/repair?calibration=<calid>&method=draw&seed=1'
 //	# watch fairness + drift (incl. per-calibration posterior telemetry)
 //	curl -s 'localhost:8080/v1/metrics?plan=<id>'
+//	# scrape Prometheus metrics / check what build is running
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/buildinfo
+//
+// Observability: structured request logs go to stderr (slog text, -log-json
+// for JSON) with request IDs correlating log lines, the /v1/metrics slow
+// ring (-slow-request threshold) and trace stage spans (-trace-sample for
+// per-record decode/encode timing). -pprof-addr serves net/http/pprof on a
+// separate listener so profiling never rides the serving port.
 //
 // With workers=1 the repaired bytes are identical to what the in-process
 // library produces at the same seed, so a service deployment is a drop-in
@@ -37,11 +46,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -65,12 +77,32 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight repairs may run after SIGTERM before the server exits anyway")
 	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long to keep answering (503 for repairs, unready /readyz) after SIGTERM before closing the listener, so orchestrators see the readiness flip (0 = close immediately)")
+	slowRequest := flag.Duration("slow-request", 0, "repair requests at or past this total duration are counted slow, kept in the /v1/metrics slow ring and logged at Warn (0 = off)")
+	traceSample := flag.Uint64("trace-sample", 0, "record per-record decode/encode span timing on every Nth repair request (1 = all, 0 = never); coarse stage spans are always traced")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off); keep it off public interfaces")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	flag.Parse()
 
+	// Structured logging throughout: every line carries component, errors
+	// carry error, and repair request lines (from the server's request log)
+	// carry request_id and the artefact fingerprint they ran against.
+	var lh slog.Handler
+	if *logJSON {
+		lh = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		lh = slog.NewTextHandler(os.Stderr, nil)
+	}
+	base := slog.New(lh)
+	logger := base.With(slog.String("component", "fairserved"))
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.Any("error", err))
+		os.Exit(1)
+	}
+
 	if *smoke {
 		if err := runSmoke(); err != nil {
-			log.Fatalf("fairserved: SMOKE FAILED: %v", err)
+			fatal("SMOKE FAILED", err)
 		}
 		fmt.Println("fairserved: smoke test passed")
 		return
@@ -78,7 +110,7 @@ func main() {
 
 	store, err := planstore.Open(*storeDir, planstore.Options{CacheSize: *cache})
 	if err != nil {
-		log.Fatalf("fairserved: %v", err)
+		fatal("opening store", err)
 	}
 	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{
 		Workers:              *workers,
@@ -87,40 +119,67 @@ func main() {
 		MaxInflight:          *maxInflight,
 		MaxQueuedBytes:       *maxQueuedBytes,
 		DefaultDeadline:      *deadline,
+		SlowRequest:          *slowRequest,
+		TraceSample:          *traceSample,
+		Logger:               base,
 	})
 	if err != nil {
-		log.Fatalf("fairserved: %v", err)
+		fatal("building server", err)
 	}
 	if *prune > 0 {
 		removed, err := store.Prune(*prune)
 		if err != nil {
-			log.Fatalf("fairserved: pruning plans: %v", err)
+			fatal("pruning plans", err)
 		}
 		calsRemoved, err := handler.Calibrations().Prune(*prune)
 		if err != nil {
-			log.Fatalf("fairserved: pruning calibrations: %v", err)
+			fatal("pruning calibrations", err)
 		}
 		// Design warm-start links (cmd/repro -store against this same
 		// directory) age out with the plans they point at.
 		ix, err := planstore.NewDesignIndex(store)
 		if err != nil {
-			log.Fatalf("fairserved: %v", err)
+			fatal("opening design index", err)
 		}
 		linksRemoved, err := ix.Prune(*prune)
 		if err != nil {
-			log.Fatalf("fairserved: pruning design links: %v", err)
+			fatal("pruning design links", err)
 		}
-		log.Printf("fairserved: pruned %d plans, %d calibrations, %d design links older than %s", removed, calsRemoved, linksRemoved, *prune)
+		logger.Info("pruned stale artefacts",
+			slog.Int("plans", removed), slog.Int("calibrations", calsRemoved),
+			slog.Int("design_links", linksRemoved), slog.Duration("older_than", *prune))
 	}
 	if *prewarm {
 		plans, cals, skipped, err := handler.Prewarm()
 		if err != nil {
-			log.Fatalf("fairserved: prewarm: %v", err)
+			fatal("prewarm", err)
 		}
 		if skipped > 0 {
-			log.Printf("fairserved: prewarm skipped %d unreadable artefacts", skipped)
+			logger.Warn("prewarm skipped unreadable artefacts", slog.Int("skipped", skipped))
 		}
-		log.Printf("fairserved: prewarmed %d plans, %d calibrations", plans, cals)
+		logger.Info("prewarmed artefacts", slog.Int("plans", plans), slog.Int("calibrations", cals))
+	}
+
+	// Opt-in pprof on its own listener: profiling never shares the serving
+	// port, so exposure is an explicit deployment decision and the serving
+	// mux carries no debug surface.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal("pprof listener", err)
+		}
+		logger.Info("pprof listening", slog.String("addr", pln.Addr().String()))
+		go func() {
+			if err := http.Serve(pln, pm); err != nil {
+				logger.Error("pprof server stopped", slog.Any("error", err))
+			}
+		}()
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -138,19 +197,29 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("fairserved: %v", err)
+		fatal("listening", err)
 	}
-	log.Printf("fairserved: listening on %s (store %s)", ln.Addr(), *storeDir)
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	logger.Info("listening",
+		slog.String("addr", ln.Addr().String()), slog.String("store", *storeDir),
+		slog.String("go", runtime.Version()), slog.String("revision", revision))
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("fairserved: %v", err)
+			fatal("serve", err)
 		}
 	case <-ctx.Done():
-		log.Printf("fairserved: draining (grace %s, up to %s)", *drainGrace, *drainTimeout)
+		logger.Info("draining", slog.Duration("grace", *drainGrace), slog.Duration("timeout", *drainTimeout))
 		handler.BeginDrain()
 		// Shutdown closes the listener immediately, so without this grace
 		// window new connections would see a TCP refusal instead of the
@@ -163,7 +232,7 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("fairserved: shutdown: %v (exiting with requests in flight)", err)
+			logger.Warn("shutdown exiting with requests in flight", slog.Any("error", err))
 		}
 	}
 }

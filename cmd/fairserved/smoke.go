@@ -14,6 +14,7 @@ import (
 	"otfair/internal/core"
 	"otfair/internal/dataset"
 	"otfair/internal/fairmetrics"
+	"otfair/internal/obs"
 	"otfair/internal/planstore"
 	"otfair/internal/repairsvc"
 	"otfair/internal/rng"
@@ -48,7 +49,9 @@ func runSmoke() error {
 	if err != nil {
 		return err
 	}
-	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{MetricWindow: nArchive})
+	// Tracing on at full sample so the smoke exercises the instrumented
+	// paths it later scrapes.
+	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{MetricWindow: nArchive, TraceSample: 1})
 	if err != nil {
 		return err
 	}
@@ -151,7 +154,54 @@ func runSmoke() error {
 	}
 	fmt.Printf("metrics endpoint: %d records served\n", metrics.Engine.Records)
 
-	return blindSmoke(srv, store, designed.ID, research, archive)
+	if err := blindSmoke(srv, store, designed.ID, research, archive); err != nil {
+		return err
+	}
+	return scrapeSmoke(srv, 2*archive.Len())
+}
+
+// scrapeSmoke is the observability leg: GET /metrics must serve exposition
+// text that parses and carries the key series with values consistent with
+// the traffic the smoke test just generated (two repair requests totalling
+// wantRecords records).
+func scrapeSmoke(srv *httptest.Server, wantRecords int) error {
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		return fmt.Errorf("/metrics Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("/metrics does not parse: %w", err)
+	}
+	m := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		m[s.Key()] = s.Value
+	}
+	if got := m["otfair_repair_records_total"]; got != float64(wantRecords) {
+		return fmt.Errorf("otfair_repair_records_total = %v, want %d", got, wantRecords)
+	}
+	if got := m[`otfair_http_request_seconds_count{route="repair"}`]; got != 2 {
+		return fmt.Errorf(`repair route request count = %v, want 2`, got)
+	}
+	for _, key := range []string{
+		`otfair_repair_stage_seconds_count{stage="shard_execute"}`,
+		`otfair_repair_stage_seconds_count{stage="decode"}`,
+		`otfair_shard_seconds_count`,
+		`otfair_shards_total`,
+	} {
+		if m[key] < 1 {
+			return fmt.Errorf("series %s = %v, want >= 1", key, m[key])
+		}
+	}
+	fmt.Printf("prometheus scrape: %d samples parsed, %d records accounted\n", len(samples), wantRecords)
+	return nil
 }
 
 // blindSmoke is the s-unlabelled leg of the smoke test: fit a calibration

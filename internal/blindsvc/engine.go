@@ -66,6 +66,10 @@ type Options struct {
 	// consults the shard.slow and shard.panic points before repairing its
 	// span, mirroring repairsvc.Options.Fault.
 	Fault *faultinject.Injector
+	// Obs receives shard and chunk timings from the runner (nil =
+	// uninstrumented), mirroring repairsvc.Options.Obs. It never influences
+	// execution, so output is byte-identical with or without it.
+	Obs *shardrun.Obs
 }
 
 // withDefaults validates and defaults the sharding knobs through
@@ -82,7 +86,7 @@ func (o Options) withDefaults() (Options, error) {
 
 // shard returns the (validated) shardrun view of the options.
 func (o Options) shard() shardrun.Options {
-	return shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize}
+	return shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize, Obs: o.Obs}
 }
 
 // Totals are the engine's cumulative serving counters across all requests
@@ -368,7 +372,7 @@ func (e *Engine) RepairTableContext(ctx context.Context, r *rng.RNG, method blin
 		if err != nil {
 			return nil, stats, diag, err
 		}
-		err = shardrun.Isolated(func() error {
+		err = shardrun.IsolatedObs(e.opts.Obs, func() error {
 			e.opts.Fault.Delay(faultinject.ShardSlow)
 			e.opts.Fault.Panic(faultinject.ShardPanic)
 			return repairSpan(ctx, rp, e.batch(method), records, repaired, 0, n)
@@ -383,7 +387,7 @@ func (e *Engine) RepairTableContext(ctx context.Context, r *rng.RNG, method blin
 		slots := shardrun.Slots(workers, n)
 		allStats := make([]blind.Stats, slots)
 		diags := make([]core.Diagnostics, slots)
-		err := shardrun.Table(ctx, r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
+		err := shardrun.TableObs(ctx, r, workers, n, e.opts.Obs, func(w int, rr *rng.RNG, lo, hi int) error {
 			e.opts.Fault.Delay(faultinject.ShardSlow)
 			e.opts.Fault.Panic(faultinject.ShardPanic)
 			rp, err := e.repairer(rr, method)
@@ -460,7 +464,7 @@ func (e *Engine) RepairStreamContext(ctx context.Context, r *rng.RNG, method bli
 			return 0, stats, diag, err
 		}
 		var n int
-		err = shardrun.Isolated(func() error {
+		err = shardrun.IsolatedObs(e.opts.Obs, func() error {
 			e.opts.Fault.Delay(faultinject.ShardSlow)
 			e.opts.Fault.Panic(faultinject.ShardPanic)
 			var serr error

@@ -42,6 +42,15 @@ func RepairTableParallel(plan *Plan, r *rng.RNG, opts RepairOptions, t *dataset.
 // tables smaller than the worker count, the rule this function
 // established — so the two are byte-identical for the same inputs.
 func RepairTableParallelShared(sampler *PlanSampler, r *rng.RNG, opts RepairOptions, t *dataset.Table, workers int) (*dataset.Table, Diagnostics, error) {
+	return RepairTableParallelSharedObs(sampler, r, opts, t, workers, nil)
+}
+
+// RepairTableParallelSharedObs is RepairTableParallelShared with per-shard
+// wall timings recorded on ob via shardrun.TableObs (nil ob =
+// uninstrumented). Instrumentation never influences sharding or the split
+// streams, so the repaired table is byte-identical either way — which is
+// why the serving layer can leave it permanently enabled.
+func RepairTableParallelSharedObs(sampler *PlanSampler, r *rng.RNG, opts RepairOptions, t *dataset.Table, workers int, ob *shardrun.Obs) (*dataset.Table, Diagnostics, error) {
 	var diag Diagnostics
 	if sampler == nil {
 		return nil, diag, errors.New("core: nil sampler")
@@ -63,7 +72,7 @@ func RepairTableParallelShared(sampler *PlanSampler, r *rng.RNG, opts RepairOpti
 	// Per-shard slots are bounded by the table, not the requested fan-out,
 	// so an absurd worker count cannot balloon the allocation.
 	diags := make([]Diagnostics, shardrun.Slots(workers, n))
-	err := shardrun.Table(context.Background(), r, workers, n, func(w int, rr *rng.RNG, lo, hi int) error {
+	err := shardrun.TableObs(context.Background(), r, workers, n, ob, func(w int, rr *rng.RNG, lo, hi int) error {
 		rp, err := NewRepairerShared(sampler, rr, opts)
 		if err != nil {
 			return err

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type served
+// on /metrics.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (0.0.4): a # HELP and # TYPE line per family, then one
+// sample line per series — counters and gauges directly, histograms as
+// cumulative _bucket{le=...} series plus _sum and _count. Families appear
+// in registration order, series in their registration order, so output is
+// deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, strings.ReplaceAll(fam.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
+		r.mu.Lock()
+		sers := make([]*series, len(fam.series))
+		copy(sers, fam.series)
+		r.mu.Unlock()
+		for _, s := range sers {
+			switch {
+			case s.h != nil:
+				writeHistogram(bw, fam.name, s.labels, s.h.Snapshot())
+			case s.fn != nil:
+				writeSample(bw, fam.name, s.labels, s.fn())
+			case s.c != nil:
+				writeSample(bw, fam.name, s.labels, float64(s.c.Load()))
+			case s.g != nil:
+				writeSample(bw, fam.name, s.labels, float64(s.g.Load()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with the
+// le label appended to the series labels, then _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, s Snapshot) {
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatValue(s.Bounds[i])
+		}
+		if labels == "" {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, le, cum)
+		}
+	}
+	sum, count := name+"_sum", name+"_count"
+	writeSample(w, sum, labels, s.Sum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s %d\n", count, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s{%s} %d\n", count, labels, s.Count)
+	}
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trippable float, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one parsed exposition sample: a metric name, its sorted label
+// rendering (`k="v",...`, "" for none) and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Key is the full series identity, name{labels}.
+func (s Sample) Key() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// ParseText parses Prometheus text exposition format back into samples —
+// the validation half of the round-trip test, also used by the smoke and
+// soak harnesses to assert a live /metrics scrape is well-formed. It
+// checks structural invariants (every sample line parses, TYPE lines
+// precede their samples, histogram buckets are cumulative) and returns
+// every sample in input order.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var samples []Sample
+	typed := make(map[string]string) // family -> TYPE
+	lastBucket := make(map[string]uint64)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown TYPE %q", line, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		fam := familyOf(s.Name)
+		if _, ok := typed[fam]; !ok {
+			return nil, fmt.Errorf("obs: line %d: sample %s precedes its # TYPE line", line, s.Name)
+		}
+		if strings.HasSuffix(s.Name, "_bucket") && typed[fam] == "histogram" {
+			key := fam + "{" + stripLE(s.Labels) + "}"
+			if uint64(s.Value) < lastBucket[key] {
+				return nil, fmt.Errorf("obs: line %d: histogram %s buckets are not cumulative", line, key)
+			}
+			lastBucket[key] = uint64(s.Value)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// familyOf strips the histogram sample suffixes so _bucket/_sum/_count
+// lines resolve to their family's TYPE entry.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(name, suf); ok {
+			return f
+		}
+	}
+	return name
+}
+
+// stripLE removes the le label from a bucket's label rendering so buckets
+// of one series group together.
+func stripLE(labels string) string {
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if !strings.HasPrefix(part, "le=") {
+			kept = append(kept, part)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// splitLabels splits `k="v",...` on commas outside quotes.
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, labels[start:])
+	return parts
+}
+
+// parseSample parses one `name[{labels}] value [timestamp]` line.
+func parseSample(text string) (Sample, error) {
+	var s Sample
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", text)
+	} else if rest[i] == '{' {
+		s.Name = rest[:i]
+		end := strings.LastIndex(rest, "}")
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		s.Labels = rest[i+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		s.Name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", text)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample value in %q", text)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	// Validate label syntax: every part must be k="v".
+	for _, part := range splitLabels(s.Labels) {
+		eq := strings.Index(part, "=")
+		if eq <= 0 || len(part) < eq+3 || part[eq+1] != '"' || part[len(part)-1] != '"' {
+			return s, fmt.Errorf("malformed label %q in %q", part, text)
+		}
+	}
+	return s, nil
+}
+
+func parseValue(f string) (float64, error) {
+	switch f {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(f, 64)
+}

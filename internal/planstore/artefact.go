@@ -17,9 +17,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"otfair/internal/faultinject"
+	"otfair/internal/obs"
 )
 
 // QuarantineDirName is the subdirectory (per namespace) that corrupt
@@ -73,6 +75,19 @@ type Artefacts struct {
 	cache map[string]*list.Element // fingerprint -> lru element
 	lru   *list.List               // front = most recent; values are *cacheEntry
 	stats Stats
+
+	// readLat, when set, observes the wall time of each disk read path
+	// (memory misses only — retries and quarantine moves included, since
+	// that is the latency the caller actually paid). An atomic pointer
+	// because the store is opened before the serving layer assembles its
+	// registry; SetReadLatency binds it later without racing live Gets.
+	readLat atomic.Pointer[obs.Histogram]
+}
+
+// SetReadLatency binds the histogram that observes disk-read latencies
+// (nil to unbind). Safe to call while Gets are in flight.
+func (a *Artefacts) SetReadLatency(h *obs.Histogram) {
+	a.readLat.Store(h)
 }
 
 type cacheEntry struct {
@@ -230,6 +245,10 @@ func (a *Artefacts) Get(id string) (any, error) {
 	}
 	a.mu.Unlock()
 
+	if h := a.readLat.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.ObserveDuration(time.Since(start)) }()
+	}
 	value, err := a.loadDisk(id)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"otfair/internal/blind"
+	"otfair/internal/obs"
 )
 
 // calibrationNamespace is the subdirectory of a store root that holds the
@@ -78,3 +79,7 @@ func (cs *CalibrationStore) Prune(maxAge time.Duration) (int, error) { return cs
 
 // Stats returns a snapshot of the cumulative counters.
 func (cs *CalibrationStore) Stats() Stats { return cs.a.Stats() }
+
+// SetReadLatency binds the histogram observing disk-read latencies; see
+// Artefacts.SetReadLatency.
+func (cs *CalibrationStore) SetReadLatency(h *obs.Histogram) { cs.a.SetReadLatency(h) }

@@ -1,0 +1,67 @@
+package planstore
+
+import (
+	"testing"
+
+	"otfair/internal/obs"
+)
+
+// TestReadLatencyObservation pins the store's read-latency hook: memory
+// hits never touch the histogram, disk reads (hits and misses alike)
+// observe exactly once, and the binding can change while Gets run.
+func TestReadLatencyObservation(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := obs.NewHistogram(obs.DefLatencyBuckets())
+	st.SetReadLatency(h)
+
+	plan := designTestPlan(t, 1, 30)
+	id, _, err := st.Put(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put leaves the plan hot: a Get is a memory hit, no disk read.
+	if _, err := st.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Snapshot().Count; got != 0 {
+		t.Fatalf("memory hit observed %d disk reads, want 0", got)
+	}
+
+	// A cold store must observe exactly one disk read per Get.
+	st2, err := Open(st.Dir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.SetReadLatency(h)
+	if _, err := st2.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("cold read observed %d, want 1", got)
+	}
+	// Warm now: no additional observation.
+	if _, err := st2.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("warm read observed %d total, want 1", got)
+	}
+	// A miss is a disk attempt and observes too.
+	if _, err := st2.Get("00000000000000000000000000000000"); err == nil {
+		t.Fatal("expected miss")
+	}
+	if got := h.Snapshot().Count; got != 2 {
+		t.Fatalf("miss observed %d total, want 2", got)
+	}
+	// Unbinding stops observation without breaking reads.
+	st2.SetReadLatency(nil)
+	if _, err := st2.Get("00000000000000000000000000000000"); err == nil {
+		t.Fatal("expected miss")
+	}
+	if got := h.Snapshot().Count; got != 2 {
+		t.Fatalf("unbound store observed %d total, want 2", got)
+	}
+}

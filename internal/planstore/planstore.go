@@ -34,6 +34,7 @@ import (
 
 	"otfair/internal/core"
 	"otfair/internal/faultinject"
+	"otfair/internal/obs"
 )
 
 // ErrNotFound reports a fingerprint absent from both memory and disk.
@@ -162,3 +163,7 @@ func (st *Store) QuarantineDir() string { return st.a.QuarantineDir() }
 
 // Stats returns a snapshot of the cumulative counters.
 func (st *Store) Stats() Stats { return st.a.Stats() }
+
+// SetReadLatency binds the histogram observing disk-read latencies; see
+// Artefacts.SetReadLatency.
+func (st *Store) SetReadLatency(h *obs.Histogram) { st.a.SetReadLatency(h) }

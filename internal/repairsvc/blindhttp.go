@@ -47,7 +47,7 @@ func (s *Server) blindState(planID, calID string) (*planState, *blindsvc.Engine,
 	// Bind outside the lock: the pooled plan's alias tables are the
 	// expensive part and two racing requests at worst build them twice,
 	// with one winner.
-	eng, err := blindsvc.NewEngineShared(ps.engine.Plan(), cal, ps.engine.Sampler(), blindsvc.Options{Workers: s.opts.Workers, Fault: s.opts.Fault})
+	eng, err := blindsvc.NewEngineShared(ps.engine.Plan(), cal, ps.engine.Sampler(), blindsvc.Options{Workers: s.opts.Workers, Fault: s.opts.Fault, Obs: s.om.shard})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -58,6 +58,10 @@ type Options struct {
 	// consults the shard.slow and shard.panic points before repairing its
 	// span, so the soak can exercise slow workers and panic isolation.
 	Fault *faultinject.Injector
+	// Obs receives shard and chunk timings from the runner (nil =
+	// uninstrumented). Like Fault it never influences execution, so output
+	// is byte-identical with or without it.
+	Obs *shardrun.Obs
 }
 
 // withDefaults validates and defaults the sharding knobs through
@@ -74,7 +78,7 @@ func (o Options) withDefaults() (Options, error) {
 
 // shard returns the (validated) shardrun view of the options.
 func (o Options) shard() shardrun.Options {
-	return shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize}
+	return shardrun.Options{Workers: o.Workers, ChunkSize: o.ChunkSize, Obs: o.Obs}
 }
 
 // Totals are the engine's cumulative serving counters, aggregated across
@@ -194,7 +198,7 @@ func (e *Engine) RepairTableContext(ctx context.Context, r *rng.RNG, t *dataset.
 		// Serial table repair runs in the calling goroutine; isolate it the
 		// way the fan-out isolates its workers, so a panicking repair fails
 		// this request with a typed error instead of the process.
-		err = shardrun.Isolated(func() error {
+		err = shardrun.IsolatedObs(e.opts.Obs, func() error {
 			e.opts.Fault.Delay(faultinject.ShardSlow)
 			e.opts.Fault.Panic(faultinject.ShardPanic)
 			var rerr error
@@ -208,7 +212,7 @@ func (e *Engine) RepairTableContext(ctx context.Context, r *rng.RNG, t *dataset.
 		e.account(t.Len(), diag)
 		return out, diag, nil
 	}
-	out, diag, err := core.RepairTableParallelShared(e.sampler, r, e.opts.Repair, t, e.opts.Workers)
+	out, diag, err := core.RepairTableParallelSharedObs(e.sampler, r, e.opts.Repair, t, e.opts.Workers, e.opts.Obs)
 	if err != nil {
 		return nil, diag, err
 	}
@@ -254,7 +258,7 @@ func (e *Engine) RepairStreamContext(ctx context.Context, r *rng.RNG, in dataset
 			return 0, diag, err
 		}
 		var n int
-		err = shardrun.Isolated(func() error {
+		err = shardrun.IsolatedObs(e.opts.Obs, func() error {
 			e.opts.Fault.Delay(faultinject.ShardSlow)
 			e.opts.Fault.Panic(faultinject.ShardPanic)
 			var serr error

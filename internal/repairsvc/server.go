@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"otfair/internal/faultinject"
 	"otfair/internal/kde"
 	"otfair/internal/monitor"
+	"otfair/internal/obs"
 	"otfair/internal/planstore"
 	"otfair/internal/rng"
 )
@@ -81,6 +83,24 @@ type ServerOptions struct {
 	// through to every engine the server binds. The stores carry their
 	// own injector via planstore.Options.
 	Fault *faultinject.Injector
+	// Registry receives every Prometheus family the server exports
+	// (default: a fresh registry). Passing one in lets cmd/fairserved add
+	// process-level series next to the server's and serve them all from
+	// GET /metrics.
+	Registry *obs.Registry
+	// SlowRequest is the total-duration threshold at and above which a
+	// repair request is counted slow, retained in the slow ring (surfaced
+	// by /v1/metrics) and logged at Warn (0 = slow tracking off).
+	SlowRequest time.Duration
+	// TraceSample turns on fine-grained per-record decode/encode span
+	// timing for every N-th repair request (1 = all, 0 = never). Coarse
+	// request-level stage spans are always recorded; sampling only gates
+	// the spans that cost a clock read per record.
+	TraceSample uint64
+	// Logger receives structured request logs (nil = discard). Repair
+	// requests log at Info with their request ID; slow ones at Warn with a
+	// stage breakdown.
+	Logger *slog.Logger
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -162,9 +182,12 @@ func errStatusOr(err error, fallback int) int {
 //	POST /v1/repair              repair a CSV or NDJSON record stream; with
 //	                             ?calibration=<id> the stream may carry no
 //	                             s labels (blind repair)
-//	GET  /v1/metrics             serving counters, drift and E per plan,
-//	                             plus per-calibration blind telemetry and
-//	                             the server-wide resilience counters
+//	GET  /v1/metrics             JSON serving state: resilience, store and
+//	                             observability summaries always; drift, E
+//	                             and blind telemetry with ?plan=
+//	GET  /metrics                Prometheus text exposition of the metric
+//	                             registry
+//	GET  /v1/buildinfo           build identity (version, go, vcs revision)
 //	GET  /healthz                liveness (200 as long as the process runs)
 //	GET  /readyz                 readiness (503 while draining or when the
 //	                             store fails a writability round-trip)
@@ -181,6 +204,7 @@ type Server struct {
 	gate     admission
 	draining atomic.Bool
 	res      resilienceCounters
+	om       *serverObs
 
 	mu     sync.Mutex
 	states map[string]*planState
@@ -277,8 +301,12 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 		states: make(map[string]*planState),
 	}
 	s.gate = admission{maxInflight: s.opts.MaxInflight, maxBytes: s.opts.MaxQueuedBytes}
+	// Bind the observability assembly after the stores exist (it hooks
+	// their read latencies) and before any route can run.
+	s.om = newServerObs(s)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /v1/buildinfo", s.handleBuildInfo)
 	s.mux.HandleFunc("POST /v1/plans", s.handlePlansPost)
 	s.mux.HandleFunc("GET /v1/plans", s.handlePlansList)
 	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
@@ -287,8 +315,14 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/calibrations/{id}", s.handleCalibrationGet)
 	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	return s, nil
 }
+
+// Registry exposes the server's metric registry so callers can register
+// additional series (process stats, build gauges) on the same /metrics
+// exposition.
+func (s *Server) Registry() *obs.Registry { return s.om.reg }
 
 // Calibrations exposes the calibration namespace the server serves from.
 func (s *Server) Calibrations() *planstore.CalibrationStore { return s.cals }
@@ -334,8 +368,23 @@ func (s *Server) Prewarm() (plans, cals, skipped int, err error) {
 	return plans, cals, skipped, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes through the
+// route metrics: latency histogram and a (route, code) counter, with
+// deliberate mid-stream aborts (http.ErrAbortHandler) counted and
+// re-panicked so net/http still tears the connection down.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := routeLabel(r)
+	rec := &statusRecorder{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		v := recover()
+		s.om.requestDone(route, rec.code, time.Since(start), v != nil)
+		if v != nil {
+			panic(v)
+		}
+	}()
+	s.mux.ServeHTTP(rec, r)
+}
 
 // state returns (building if needed) the serving state for a stored plan.
 func (s *Server) state(id string) (*planState, error) {
@@ -354,7 +403,7 @@ func (s *Server) state(id string) (*planState, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine, err := NewEngine(plan, Options{Workers: s.opts.Workers, Fault: s.opts.Fault})
+	engine, err := NewEngine(plan, Options{Workers: s.opts.Workers, Fault: s.opts.Fault, Obs: s.om.shard})
 	if err != nil {
 		return nil, err
 	}
@@ -577,6 +626,26 @@ func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
 // Retry-After hint, before it costs an engine or the store anything.
 // A draining server refuses new repairs with 503.
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	// Trace the whole request. tw fronts every write so the finalize below
+	// can report the status; the finalize itself runs on every exit path —
+	// early error, success, and the deliberate mid-stream abort panic —
+	// and re-panics so net/http still sees ErrAbortHandler.
+	tr := s.om.tracer.Start()
+	tw := &trackedResponse{ResponseWriter: w}
+	w = tw
+	var (
+		planID, calID string
+		records       int
+	)
+	defer func() {
+		v := recover()
+		s.om.finishRepair(tr, planID, calID, records, tw.code, v != nil)
+		if v != nil {
+			panic(v)
+		}
+	}()
+
+	tr.Begin(obs.StageAdmission)
 	if s.draining.Load() {
 		s.refuseDraining(w)
 		return
@@ -607,8 +676,9 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
-	id := q.Get("plan")
-	calID := q.Get("calibration")
+	planID = q.Get("plan")
+	calID = q.Get("calibration")
+	id := planID
 	if id == "" && calID == "" {
 		httpError(w, http.StatusBadRequest, "missing plan parameter")
 		return
@@ -697,11 +767,14 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	tr.End(obs.StageAdmission)
+
 	// Spool the request body before writing any response byte. Go's
 	// HTTP/1.1 server tears down the request body on the first response
 	// write, and half-duplex clients (curl) deadlock on true bidirectional
 	// streams anyway; a disk spool keeps memory O(1) in records while the
 	// response still streams out as repair progresses.
+	tr.Begin(obs.StageSpool)
 	spool, err := newBodySpool()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "spooling request: %v", err)
@@ -725,11 +798,12 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	tr.End(obs.StageSpool)
 
-	// Track whether any response byte has left: after that, errors must
-	// truncate the stream (at a record boundary — the codec writers buffer
-	// whole rows), never append a JSON error into a CSV/NDJSON body.
-	tw := &trackedResponse{ResponseWriter: w}
+	// tw (created at the top) tracks whether any response byte has left:
+	// after that, errors must truncate the stream (at a record boundary —
+	// the codec writers buffer whole rows), never append a JSON error into
+	// a CSV/NDJSON body.
 	var (
 		in      dataset.Stream
 		sink    func(dataset.Record) error
@@ -767,15 +841,29 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	tapped := &tapStream{inner: observed, tap: tap}
+	tapped := &tapStream{inner: observed, tap: tap, tr: tr}
 	repairedSink := func(rec dataset.Record) error {
 		ps.mu.Lock()
 		ps.repaired.add(rec)
 		ps.mu.Unlock()
+		// Per-record encode timing only on trace-sampled requests: the
+		// clock reads are the cost being sampled away.
+		if tr.Sampled() {
+			start := time.Now()
+			err := sink(rec)
+			tr.Add(obs.StageEncode, time.Since(start))
+			return err
+		}
 		return sink(rec)
 	}
 
+	// The run wall covers decode, repair and encode interleaved; the
+	// sampled decode/encode accumulators are backed out so shard_execute
+	// reports engine time. Unsampled requests report the whole wall there.
+	runStart := time.Now()
 	n, err := run(ctx, rng.New(seed), tapped, repairedSink)
+	records = n
+	tr.Set(obs.StageShardExecute, time.Since(runStart)-tr.Get(obs.StageDecode)-tr.Get(obs.StageEncode))
 	if err != nil {
 		s.noteFailure(ctx, err)
 		if !tw.started {
@@ -798,9 +886,11 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		// boundary, and the abort is what makes the truncation loud.
 		panic(http.ErrAbortHandler)
 	}
+	tr.Begin(obs.StageFlush)
 	if err := finish(); err != nil {
 		return
 	}
+	tr.End(obs.StageFlush)
 }
 
 // bodySpool is a request-body spool file whose directory entry is unlinked
@@ -838,19 +928,27 @@ func (sp *bodySpool) Close() error {
 	return err
 }
 
-// trackedResponse records whether any header or byte has been written.
+// trackedResponse records whether any header or byte has been written,
+// and the first status code, for the request log.
 type trackedResponse struct {
 	http.ResponseWriter
 	started bool
+	code    int
 }
 
 func (t *trackedResponse) WriteHeader(code int) {
 	t.started = true
+	if t.code == 0 {
+		t.code = code
+	}
 	t.ResponseWriter.WriteHeader(code)
 }
 
 func (t *trackedResponse) Write(b []byte) (int, error) {
 	t.started = true
+	if t.code == 0 {
+		t.code = http.StatusOK
+	}
 	return t.ResponseWriter.Write(b)
 }
 
@@ -862,10 +960,21 @@ func (t *trackedResponse) Write(b []byte) (int, error) {
 type tapStream struct {
 	inner dataset.Stream
 	tap   func(dataset.Record)
+	// tr accumulates per-record decode time on trace-sampled requests
+	// (nil-safe; Next is called serially from the request goroutine).
+	tr *obs.Trace
 }
 
 func (t *tapStream) Next() (dataset.Record, error) {
+	var start time.Time
+	sampled := t.tr.Sampled()
+	if sampled {
+		start = time.Now()
+	}
 	rec, err := t.inner.Next()
+	if sampled {
+		t.tr.Add(obs.StageDecode, time.Since(start))
+	}
 	if err != nil {
 		return rec, err
 	}
@@ -878,13 +987,28 @@ func (t *tapStream) Next() (dataset.Record, error) {
 
 func (t *tapStream) Dim() int { return t.inner.Dim() }
 
-// handleMetrics reports one plan's serving state: engine counters, drift
-// monitor status with recent alarms, the E metric before/after on the
-// rolling windows, and the shared store/design-cache statistics.
+// handleMetrics reports serving state as JSON. The server-wide sections —
+// resilience counters, store stats, design cache, and the observability
+// section (histogram summaries, slow-request records) — are always
+// present. With ?plan= it adds that plan's engine counters, drift monitor
+// status with recent alarms, the E metric before/after on the rolling
+// windows, and per-calibration blind telemetry.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	designHits, designMisses := core.DesignCacheStats()
+	out := map[string]any{
+		"resilience":        s.resilienceSnapshot(),
+		"store":             s.store.Stats(),
+		"calibration_store": s.cals.Stats(),
+		"design_cache": map[string]uint64{
+			"hits":   designHits,
+			"misses": designMisses,
+		},
+		"observability": s.om.observability(),
+	}
+
 	id := r.URL.Query().Get("plan")
 	if id == "" {
-		httpError(w, http.StatusBadRequest, "missing plan parameter")
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	ps, err := s.state(id)
@@ -926,31 +1050,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	designHits, designMisses := core.DesignCacheStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"plan": id,
-		"engine": map[string]any{
-			"records":             totals.Records,
-			"values":              totals.Values,
-			"clamped":             totals.Clamped,
-			"empty_row_fallbacks": totals.EmptyRowFallbacks,
-		},
-		"drift": map[string]any{
-			"seen":          snap.Seen,
-			"fired":         snap.Fired,
-			"watched_cells": snap.WatchedCells,
-			"full_windows":  snap.FullWindows,
-			"alarms_total":  alarmsTotal,
-			"recent":        recent,
-		},
-		"metric":            metric,
-		"blind":             blindMetrics(ps),
-		"resilience":        s.resilienceSnapshot(),
-		"store":             s.store.Stats(),
-		"calibration_store": s.cals.Stats(),
-		"design_cache": map[string]uint64{
-			"hits":   designHits,
-			"misses": designMisses,
-		},
-	})
+	out["plan"] = id
+	out["engine"] = map[string]any{
+		"records":             totals.Records,
+		"values":              totals.Values,
+		"clamped":             totals.Clamped,
+		"empty_row_fallbacks": totals.EmptyRowFallbacks,
+	}
+	out["drift"] = map[string]any{
+		"seen":          snap.Seen,
+		"fired":         snap.Fired,
+		"watched_cells": snap.WatchedCells,
+		"full_windows":  snap.FullWindows,
+		"alarms_total":  alarmsTotal,
+		"recent":        recent,
+	}
+	out["metric"] = metric
+	out["blind"] = blindMetrics(ps)
+	writeJSON(w, http.StatusOK, out)
 }

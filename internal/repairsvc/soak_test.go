@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"otfair/internal/faultinject"
+	"otfair/internal/obs"
 )
 
 // soakCombo is one request shape: engine × wire format × worker count.
@@ -101,10 +103,17 @@ func TestSoak(t *testing.T) {
 		Set(faultinject.ShardSlow, faultinject.Rule{Every: 3, Delay: 2 * time.Millisecond}).
 		Set(faultinject.ShardPanic, faultinject.Rule{Every: 11}).
 		Set(faultinject.StoreRead, faultinject.Rule{Every: 2, Limit: 2, Err: errors.New("injected read fault")})
+	// Tracing and structured logging run at full tilt during the soak —
+	// every request traced with per-record sampling, every request logged —
+	// so the instrumentation is exercised under the same races and faults
+	// as the serving paths it watches.
 	srv, _, planID := resilienceServer(t, plan, ServerOptions{
 		MetricWindow: 4096,
 		MaxInflight:  4,
 		Fault:        inj,
+		SlowRequest:  time.Millisecond,
+		TraceSample:  1,
+		Logger:       slog.New(slog.NewJSONHandler(io.Discard, nil)),
 	})
 	calID := fitOverHTTP(t, srv, planID, research)
 	combos := soakCombos(t, planID, calID,
@@ -223,5 +232,29 @@ func TestSoak(t *testing.T) {
 	}
 	if total == 0 && succeeded < nReq {
 		t.Errorf("requests failed but no resilience counter moved: %v", res)
+	}
+
+	// A live scrape of the soaked server must still parse and carry the
+	// key series. (Exact request counts are racy here: hang-up clients
+	// return before their handlers finish, so assert presence, not totals.)
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, perr := obs.ParseText(mresp.Body)
+	mresp.Body.Close()
+	if perr != nil {
+		t.Fatalf("post-soak /metrics does not parse: %v", perr)
+	}
+	m := sampleMap(samples)
+	if m[`otfair_shard_seconds_count`] < 1 {
+		t.Error("post-soak scrape: no shard timings recorded")
+	}
+	if m[`otfair_repair_stage_seconds_count{stage="shard_execute"}`] < 1 {
+		t.Error("post-soak scrape: no shard_execute stage spans recorded")
+	}
+	if m[`otfair_http_request_seconds_count{route="repair"}`] < float64(succeeded) {
+		t.Errorf("post-soak scrape: repair route count %v < %d successes",
+			m[`otfair_http_request_seconds_count{route="repair"}`], succeeded)
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"otfair/internal/rng"
 )
@@ -62,6 +63,10 @@ type Options struct {
 	// (0 = DefaultChunkSize). Larger chunks amortize fan-out overhead;
 	// smaller chunks bound latency and memory.
 	ChunkSize int
+	// Obs receives shard/chunk timings and counts (nil = uninstrumented).
+	// It never influences execution, so two runs differing only in Obs are
+	// byte-identical.
+	Obs *Obs
 }
 
 // OptionError reports a nonsensical Options field. Both engines used to
@@ -151,11 +156,21 @@ func (e *ShardPanicError) Error() string {
 
 // callShard runs one shard closure with panic isolation: a panic becomes
 // a typed *ShardPanicError instead of unwinding into the runner (and,
-// for goroutine shards, killing the process).
-func callShard(chunk uint64, stream bool, w, lo, hi int, f func() error) (err error) {
+// for goroutine shards, killing the process). With o non-nil the shard's
+// wall time and outcome are recorded; the clock is only read when
+// instrumented, so the uninstrumented cost is one pointer check.
+func callShard(o *Obs, chunk uint64, stream bool, w, lo, hi int, f func() error) (err error) {
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	defer func() {
-		if v := recover(); v != nil {
+		v := recover()
+		if v != nil {
 			err = &ShardPanicError{Chunk: chunk, Stream: stream, Shard: w, Lo: lo, Hi: hi, Value: v, Stack: debug.Stack()}
+		}
+		if o != nil {
+			o.shardDone(time.Since(start), v != nil)
 		}
 	}()
 	return f()
@@ -166,7 +181,13 @@ func callShard(chunk uint64, stream bool, w, lo, hi int, f func() error) (err er
 // a panic inside f returns as a *ShardPanicError for shard 0 instead of
 // unwinding into the caller.
 func Isolated(f func() error) error {
-	return callShard(0, false, 0, 0, 0, f)
+	return IsolatedObs(nil, f)
+}
+
+// IsolatedObs is Isolated with the shard's wall time and outcome recorded
+// on o (nil o = plain Isolated).
+func IsolatedObs(o *Obs, f func() error) error {
+	return callShard(o, 0, false, 0, 0, 0, f)
 }
 
 // Table fans the index range [0, n) across contiguous shards. Shard w
@@ -180,6 +201,13 @@ func Isolated(f func() error) error {
 // before any shard runs (prompt cancellation inside a running shard is
 // the closure's job — the engines check ctx at span granularity).
 func Table(ctx context.Context, r *rng.RNG, workers, n int, shard func(shard int, r *rng.RNG, lo, hi int) error) error {
+	return TableObs(ctx, r, workers, n, nil, shard)
+}
+
+// TableObs is Table with per-shard wall timings and counts recorded on o
+// (nil o = plain Table). Instrumentation never influences the sharding or
+// the split streams, so the output is byte-identical either way.
+func TableObs(ctx context.Context, r *rng.RNG, workers, n int, o *Obs, shard func(shard int, r *rng.RNG, lo, hi int) error) error {
 	if r == nil {
 		return errors.New("shardrun: nil rng")
 	}
@@ -196,7 +224,7 @@ func Table(ctx context.Context, r *rng.RNG, workers, n int, shard func(shard int
 		workers = n
 	}
 	if workers <= 1 {
-		return callShard(0, false, 0, 0, n, func() error { return shard(0, r.Split(0), 0, n) })
+		return callShard(o, 0, false, 0, 0, n, func() error { return shard(0, r.Split(0), 0, n) })
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -206,7 +234,7 @@ func Table(ctx context.Context, r *rng.RNG, workers, n int, shard func(shard int
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = callShard(0, false, w, lo, hi, func() error { return shard(w, r.Split(uint64(w)), lo, hi) })
+			errs[w] = callShard(o, 0, false, w, lo, hi, func() error { return shard(w, r.Split(uint64(w)), lo, hi) })
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -280,7 +308,7 @@ func Stream[T any](
 			in = append(in, rec)
 		}
 		if len(in) > 0 {
-			if err := runChunk(r, chunkIdx, opts.Workers, in, out, shard); err != nil {
+			if err := runChunk(opts.Obs, r, chunkIdx, opts.Workers, in, out, shard); err != nil {
 				return err
 			}
 			// Cancelled while the shards ran: drop the completed chunk
@@ -289,6 +317,7 @@ func Stream[T any](
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			opts.Obs.chunkDone(len(in))
 			if err := drain(out[:len(in)]); err != nil {
 				return err
 			}
@@ -302,14 +331,14 @@ func Stream[T any](
 
 // runChunk fans one chunk across shards with the per-(chunk, shard) split
 // formula.
-func runChunk[T any](r *rng.RNG, chunk uint64, workers int, in, out []T, shard func(chunk uint64, shard int, r *rng.RNG, in, out []T, lo, hi int) error) error {
+func runChunk[T any](o *Obs, r *rng.RNG, chunk uint64, workers int, in, out []T, shard func(chunk uint64, shard int, r *rng.RNG, in, out []T, lo, hi int) error) error {
 	n := len(in)
 	streamStride := uint64(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return callShard(chunk, true, 0, 0, n, func() error {
+		return callShard(o, chunk, true, 0, 0, n, func() error {
 			return shard(chunk, 0, r.Split(chunk*streamStride), in, out, 0, n)
 		})
 	}
@@ -321,7 +350,7 @@ func runChunk[T any](r *rng.RNG, chunk uint64, workers int, in, out []T, shard f
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = callShard(chunk, true, w, lo, hi, func() error {
+			errs[w] = callShard(o, chunk, true, w, lo, hi, func() error {
 				return shard(chunk, w, r.Split(chunk*streamStride+uint64(w)), in, out, lo, hi)
 			})
 		}(w, lo, hi)
