@@ -22,7 +22,7 @@ JOINT = BenchmarkJointDesign$$|BenchmarkJointDesignDense$$|BenchmarkJointRepair$
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
-.PHONY: build verify verify-ci test vet race soak bench bench-micro serve-smoke
+.PHONY: build verify verify-ci test vet race soak drift-scenario bench bench-micro serve-smoke
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ SOAK_REQUESTS ?= 64
 soak:
 	OTFAIR_SOAK_REQUESTS=$(SOAK_REQUESTS) $(GO) test -race -count=1 \
 		-run 'TestSoak$$|TestMidStreamDisconnect$$' -v ./internal/repairsvc/
+
+# The long-horizon drift-loop scenario, under the race detector: seeded
+# drift injected into served traffic must drive alarm → auto-refit →
+# canary → atomic ref swap → drift-score recovery, with every transition
+# visible in /metrics and every 2xx byte-identical to a loop-disabled
+# server answering the same requests.
+drift-scenario:
+	$(GO) test -race -count=1 -run 'TestDrift' -v ./internal/repairsvc/
+	$(GO) test -race -count=1 -v ./internal/driftwatch/
 
 # The artefact benches run whole-experiment iterations (~0.5 s/op), so two
 # are enough; the throughput benches are ~10 ms/op and need more iterations

@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"otfair/internal/driftwatch"
 	"otfair/internal/planstore"
 	"otfair/internal/repairsvc"
 )
@@ -81,6 +82,13 @@ func main() {
 	traceSample := flag.Uint64("trace-sample", 0, "record per-record decode/encode span timing on every Nth repair request (1 = all, 0 = never); coarse stage spans are always traced")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off); keep it off public interfaces")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	driftWatch := flag.Bool("drift-watch", false, "arm the drift observability loop: per-plan drift state machine, Prometheus drift series, and (with -recalibrate-from) automatic refit + canary + atomic ref swap on alarm")
+	recalibrateFrom := flag.String("recalibrate-from", "", "fresh research CSV the drift loop refits plans from (empty = alarms export but recalibration finishes refit_failed)")
+	driftAlarmAfter := flag.Int("drift-alarm-after", 0, "consecutive alarming drift checks before a plan alarms (0 = default 3)")
+	driftQuietAfter := flag.Int("drift-quiet-after", 0, "records observed after a swap or rollback before the watcher re-arms (0 = default 2048)")
+	canaryReservoir := flag.Int("canary-reservoir", 0, "labelled records reservoir-sampled for the canary shadow comparison (0 = default 512)")
+	canaryMaxERise := flag.Float64("canary-max-e-rise", 0, "largest fairness (E) regression the canary accepts before rolling back (default 0: the refit must not be less fair)")
+	canaryMaxDamageRise := flag.Float64("canary-max-damage-rise", 0, "largest per-record damage increase the canary accepts before rolling back (0 = default 0.25)")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	flag.Parse()
 
@@ -108,11 +116,11 @@ func main() {
 		return
 	}
 
-	store, err := planstore.Open(*storeDir, planstore.Options{CacheSize: *cache})
+	store, err := planstore.Open(*storeDir, planstore.Options{CacheSize: *cache, Logger: base})
 	if err != nil {
 		fatal("opening store", err)
 	}
-	handler, err := repairsvc.NewServer(store, repairsvc.ServerOptions{
+	serverOpts := repairsvc.ServerOptions{
 		Workers:              *workers,
 		MetricWindow:         *window,
 		CalibrationCacheSize: *cache,
@@ -122,7 +130,18 @@ func main() {
 		SlowRequest:          *slowRequest,
 		TraceSample:          *traceSample,
 		Logger:               base,
-	})
+	}
+	if *driftWatch {
+		serverOpts.DriftWatch = &driftwatch.Config{
+			AlarmAfter:    *driftAlarmAfter,
+			QuietAfter:    *driftQuietAfter,
+			ReservoirSize: *canaryReservoir,
+			MaxERise:      *canaryMaxERise,
+			MaxDamageRise: *canaryMaxDamageRise,
+		}
+		serverOpts.RecalibrateFrom = *recalibrateFrom
+	}
+	handler, err := repairsvc.NewServer(store, serverOpts)
 	if err != nil {
 		fatal("building server", err)
 	}

@@ -1,0 +1,84 @@
+// Canary verdict: the quality gate between "we refitted a plan" and "we
+// serve with it". The caller shadow-repairs the watcher's reservoir sample
+// under the incumbent and the candidate, measures both sides with the same
+// instruments the paper evaluates repair with — fairmetrics E (how fair is
+// the repaired output) and Damage (how far records moved to get there) —
+// and Judge applies the configured tolerances. The gate is deliberately
+// conservative: an empty sample or a NaN metric is a rejection, not a
+// shrug, because a swap that cannot be justified must not happen.
+package driftwatch
+
+import "math"
+
+// Canary failure reasons (otfair_canary_failures_total{reason=...}).
+const (
+	// ReasonEmptyReservoir: no labelled traffic to canary on. Blind-only
+	// deployments land here — an honest rejection, not an error.
+	ReasonEmptyReservoir = "empty_reservoir"
+	// ReasonNaNMetric: a metric on either side failed to evaluate; the
+	// comparison is unjudgeable and the incumbent stays.
+	ReasonNaNMetric = "nan_metric"
+	// ReasonERegressed: the candidate's repaired output is less fair than
+	// the incumbent's by more than Config.MaxERise.
+	ReasonERegressed = "e_regressed"
+	// ReasonDamageRegressed: the candidate moves records further than the
+	// incumbent by more than Config.MaxDamageRise.
+	ReasonDamageRegressed = "damage_regressed"
+)
+
+var failReasons = []string{ReasonEmptyReservoir, ReasonNaNMetric,
+	ReasonERegressed, ReasonDamageRegressed}
+
+// CanaryStats is one side's measurement: the reservoir sample repaired
+// under one plan, evaluated with the serving configuration's fairness
+// metric and the mean squared per-record displacement.
+type CanaryStats struct {
+	// E is fairmetrics E on the shadow-repaired sample (lower = fairer).
+	E float64 `json:"e"`
+	// Damage is the mean squared displacement between the sample and its
+	// repair (fairmetrics.Damage).
+	Damage float64 `json:"damage"`
+	// Records is the sample size both metrics were computed on.
+	Records int `json:"records"`
+}
+
+// Verdict is Judge's decision with the evidence attached.
+type Verdict struct {
+	// Pass reports whether the candidate may be swapped in.
+	Pass bool `json:"pass"`
+	// Reason is the failure reason ("" on pass), one of the Reason
+	// constants.
+	Reason string `json:"reason,omitempty"`
+	// Old and New are the incumbent's and candidate's measurements.
+	Old CanaryStats `json:"old"`
+	New CanaryStats `json:"new"`
+}
+
+// Judge compares the incumbent's and the candidate's canary measurements
+// under cfg's tolerances. Ties pass: a candidate exactly as fair and as
+// gentle as the incumbent is acceptable — the point of the refit is
+// tracking the drifted population, not beating the old plan on old-plan
+// terms.
+func Judge(old, new CanaryStats, cfg Config) Verdict {
+	cfg = cfg.withDefaults()
+	v := Verdict{Old: old, New: new}
+	if old.Records == 0 || new.Records == 0 {
+		v.Reason = ReasonEmptyReservoir
+		return v
+	}
+	if math.IsNaN(old.E) || math.IsNaN(new.E) ||
+		math.IsNaN(old.Damage) || math.IsNaN(new.Damage) {
+		v.Reason = ReasonNaNMetric
+		return v
+	}
+	if new.E > old.E+cfg.MaxERise {
+		v.Reason = ReasonERegressed
+		return v
+	}
+	if new.Damage > old.Damage+cfg.MaxDamageRise {
+		v.Reason = ReasonDamageRegressed
+		return v
+	}
+	v.Pass = true
+	return v
+}

@@ -121,6 +121,11 @@ type cellState struct {
 	sinceChk int   // observations since last check
 	cooldown int   // observations to skip alarming for
 	observed int64 // lifetime observations
+	// ksRatio and psiRatio are the statistic/threshold ratios of the most
+	// recent check — a continuous drift score (≥ 1 means alarming), kept
+	// even when no alarm fires so dashboards and the drift-watch loop can
+	// see drift building and, after a recalibration, receding.
+	ksRatio, psiRatio float64
 }
 
 // psiRef is the coarse-binned reference one cell's PSI compares against:
@@ -189,6 +194,11 @@ type Summary struct {
 	// observations; FullWindows counts those whose rolling window has
 	// filled, i.e. cells the statistics actually run on.
 	WatchedCells, FullWindows int
+	// MaxKSRatio and MaxPSIRatio are the worst statistic/threshold ratios
+	// across cells at their most recent checks — continuous drift scores
+	// where a value ≥ 1 means that statistic is past its alarm bound. Zero
+	// until some cell's window has filled and been checked.
+	MaxKSRatio, MaxPSIRatio float64
 }
 
 // Snapshot summarizes the monitor's current state. Like every Monitor
@@ -198,6 +208,12 @@ func (m *Monitor) Snapshot() Summary {
 	for _, cs := range m.cells {
 		if cs.n == len(cs.ring) {
 			s.FullWindows++
+		}
+		if cs.ksRatio > s.MaxKSRatio {
+			s.MaxKSRatio = cs.ksRatio
+		}
+		if cs.psiRatio > s.MaxPSIRatio {
+			s.MaxPSIRatio = cs.psiRatio
 		}
 	}
 	return s
@@ -282,6 +298,9 @@ func (m *Monitor) check(u, s, k int, cs *cellState) ([]Alarm, error) {
 	if nRef := m.plan.GroupSizes[dataset.Group{U: u, S: s}]; nRef > 0 {
 		crit = KSCritical(nRef, cs.n, m.opts.Alpha)
 	}
+	if crit > 0 {
+		cs.ksRatio = ks / crit
+	}
 	if ks > crit {
 		alarms = append(alarms, Alarm{U: u, S: s, K: k, Kind: AlarmKS, Stat: ks, Threshold: crit, Window: cs.n, Seen: m.seen})
 	}
@@ -299,6 +318,9 @@ func (m *Monitor) check(u, s, k int, cs *cellState) ([]Alarm, error) {
 	thr := m.opts.PSIWarn + 2*float64(psiBinCount)/float64(cs.n)
 	if nRef := m.plan.GroupSizes[dataset.Group{U: u, S: s}]; nRef > 0 {
 		thr += 2 * float64(psiBinCount) / float64(nRef)
+	}
+	if thr > 0 {
+		cs.psiRatio = psi / thr
 	}
 	if psi > thr {
 		alarms = append(alarms, Alarm{U: u, S: s, K: k, Kind: AlarmPSI, Stat: psi, Threshold: thr, Window: cs.n, Seen: m.seen})

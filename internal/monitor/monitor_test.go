@@ -131,6 +131,63 @@ func TestDriftingStreamAlarms(t *testing.T) {
 	}
 }
 
+func TestSnapshotDriftScores(t *testing.T) {
+	plan, sampler := designPaperPlan(t, 12, 1000)
+	m, err := New(plan, Options{Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Snapshot(); s.MaxKSRatio != 0 || s.MaxPSIRatio != 0 {
+		t.Errorf("empty monitor has nonzero drift scores: %+v", s)
+	}
+	// A stationary stream must populate the scores (windows fill, checks
+	// run) while keeping them below the alarm bound.
+	r := rng.New(13)
+	for i := 0; i < 4000; i++ {
+		if _, err := m.Observe(sampler.Draw(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiet := m.Snapshot()
+	if quiet.FullWindows == 0 {
+		t.Fatal("no windows filled after 4000 records")
+	}
+	if quiet.MaxKSRatio <= 0 || quiet.MaxPSIRatio <= 0 {
+		t.Errorf("filled windows left drift scores at zero: %+v", quiet)
+	}
+	if quiet.MaxKSRatio >= 1 {
+		t.Errorf("stationary stream has alarming KS ratio %v", quiet.MaxKSRatio)
+	}
+	// A fully-drifted stream must push the KS score past the alarm bound.
+	ds, err := simulate.NewDriftStream(simulate.Paper(), rng.New(14), simulate.Drift{
+		Group: map[dataset.Group][]float64{
+			{U: 0, S: 1}: {2.0, 2.0},
+		},
+	}, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, err := ds.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drifted := m.Snapshot()
+	if drifted.MaxKSRatio <= 1 {
+		t.Errorf("fully drifted stream left MaxKSRatio at %v, want > 1", drifted.MaxKSRatio)
+	}
+	if drifted.MaxKSRatio <= quiet.MaxKSRatio {
+		t.Errorf("drift did not raise the KS score (%v → %v)", quiet.MaxKSRatio, drifted.MaxKSRatio)
+	}
+}
+
 func TestAlarmStringRenders(t *testing.T) {
 	a := Alarm{U: 1, S: 0, K: 1, Kind: AlarmPSI, Stat: 0.31, Threshold: 0.2, Window: 256, Seen: 4096}
 	s := a.String()

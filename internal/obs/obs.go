@@ -225,7 +225,14 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...s
 
 // Gauge registers (or returns) an unlabelled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	s := r.register(name, help, kindGauge, nil)
+	return r.GaugeL(name, help)
+}
+
+// GaugeL registers (or returns) a gauge with a fixed label set, given as
+// alternating key, value strings — the settable counterpart of GaugeFunc
+// for small closed label sets (state machines, per-artefact bindings).
+func (r *Registry) GaugeL(name, help string, labels ...string) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s.g == nil && s.fn == nil {

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -356,6 +357,9 @@ func (a *Artefacts) quarantine(id string, cause error) error {
 		// file must not resurrect them. Surface it in the chain instead.
 		cerr.Err = errors.Join(cause, fmt.Errorf("planstore: writing quarantine reason for %s: %w", id, err))
 	}
+	a.opts.Logger.Warn("artefact quarantined",
+		slog.String("component", "planstore"), slog.String("kind", a.kind),
+		slog.String("id", id), slog.Any("error", cause))
 	return cerr
 }
 
@@ -498,9 +502,44 @@ func (a *Artefacts) Prune(maxAge time.Duration) (removed int, err error) {
 		}
 		if strings.HasSuffix(name, ".json") {
 			removed++
+			// Quarantined evidence leaving the store is an operator-visible
+			// event — it was kept precisely to be looked at.
+			a.opts.Logger.Info("pruned quarantined artefact",
+				slog.String("component", "planstore"), slog.String("kind", a.kind),
+				slog.String("id", strings.TrimSuffix(name, ".json")),
+				slog.Duration("older_than", maxAge))
 		}
 	}
 	return removed, nil
+}
+
+// NewestMTime reports the modification time of the youngest live artefact
+// in the namespace (zero time when the namespace is empty). Scrape-time
+// artefact-age gauges read it so stale-plan alerting works even with the
+// drift watcher disabled.
+func (a *Artefacts) NewestMTime() (time.Time, error) {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("planstore: listing %s: %w", a.dir, err)
+	}
+	var newest time.Time
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		id, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || !validID(id) {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue
+		}
+		if mt := info.ModTime(); mt.After(newest) {
+			newest = mt
+		}
+	}
+	return newest, nil
 }
 
 // Stats returns a snapshot of the cumulative counters.

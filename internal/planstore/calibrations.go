@@ -83,3 +83,7 @@ func (cs *CalibrationStore) Stats() Stats { return cs.a.Stats() }
 // SetReadLatency binds the histogram observing disk-read latencies; see
 // Artefacts.SetReadLatency.
 func (cs *CalibrationStore) SetReadLatency(h *obs.Histogram) { cs.a.SetReadLatency(h) }
+
+// NewestMTime reports the youngest calibration's file modification time;
+// see Artefacts.NewestMTime.
+func (cs *CalibrationStore) NewestMTime() (time.Time, error) { return cs.a.NewestMTime() }

@@ -30,6 +30,7 @@ package planstore
 import (
 	"bytes"
 	"errors"
+	"log/slog"
 	"time"
 
 	"otfair/internal/core"
@@ -57,11 +58,19 @@ type Options struct {
 	// so the soak can exercise the retry and quarantine paths
 	// deterministically.
 	Fault *faultinject.Injector
+	// Logger receives store lifecycle events (nil = discard): artefact
+	// quarantines at Warn — an operator-actionable corruption — and Prune's
+	// quarantine-evidence sweeps at Info, the same level convention the
+	// drift loop's transition log uses.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
 	if o.CacheSize <= 0 {
 		o.CacheSize = 64
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -167,3 +176,7 @@ func (st *Store) Stats() Stats { return st.a.Stats() }
 // SetReadLatency binds the histogram observing disk-read latencies; see
 // Artefacts.SetReadLatency.
 func (st *Store) SetReadLatency(h *obs.Histogram) { st.a.SetReadLatency(h) }
+
+// NewestMTime reports the youngest plan's file modification time; see
+// Artefacts.NewestMTime.
+func (st *Store) NewestMTime() (time.Time, error) { return st.a.NewestMTime() }

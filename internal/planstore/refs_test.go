@@ -1,0 +1,175 @@
+package planstore
+
+import (
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	idA = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	idB = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+	idC = "cccccccccccccccccccccccccccccccc"
+)
+
+func TestRefsIdentityAndSwap(t *testing.T) {
+	refs, err := OpenRefs(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := refs.Resolve(idA); got != idA {
+		t.Fatalf("unset lineage resolves to %s, want identity", got)
+	}
+	if _, err := refs.Get(idA); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on unset lineage: %v, want ErrNotFound", err)
+	}
+	// First swap: expected is the identity mapping.
+	if err := refs.CompareAndSwap(idA, idA, idB); err != nil {
+		t.Fatal(err)
+	}
+	if got := refs.Resolve(idA); got != idB {
+		t.Fatalf("after swap: %s, want %s", got, idB)
+	}
+	// Second swap must name the current incumbent, not the lineage.
+	if err := refs.CompareAndSwap(idA, idA, idC); !errors.Is(err, ErrRefConflict) {
+		t.Fatalf("stale expected accepted: %v", err)
+	}
+	if got := refs.Resolve(idA); got != idB {
+		t.Fatalf("conflicting CAS moved the ref to %s", got)
+	}
+	if err := refs.CompareAndSwap(idA, idB, idC); err != nil {
+		t.Fatal(err)
+	}
+	if got := refs.Resolve(idA); got != idC {
+		t.Fatalf("chained swap: %s, want %s", got, idC)
+	}
+	// Rollback restores the identity mapping.
+	if err := refs.Delete(idA); err != nil {
+		t.Fatal(err)
+	}
+	if got := refs.Resolve(idA); got != idA {
+		t.Fatalf("after delete: %s, want identity", got)
+	}
+}
+
+func TestRefsValidation(t *testing.T) {
+	refs, err := OpenRefs(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refs.CompareAndSwap("../escape", idA, idB); !errors.Is(err, ErrBadID) {
+		t.Errorf("path-escaping lineage accepted: %v", err)
+	}
+	if err := refs.CompareAndSwap(idA, idA, "JUNK"); !errors.Is(err, ErrBadID) {
+		t.Errorf("malformed target accepted: %v", err)
+	}
+	if _, err := refs.Get("nope"); !errors.Is(err, ErrBadID) {
+		t.Errorf("malformed lineage Get: %v", err)
+	}
+	// A damaged ref file degrades to the identity mapping, never to "".
+	if err := os.WriteFile(filepath.Join(refs.dir, idA+".ref"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := refs.Resolve(idA); got != idA {
+		t.Fatalf("damaged ref resolves to %q, want identity", got)
+	}
+}
+
+func TestRefsList(t *testing.T) {
+	refs, err := OpenRefs(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refs.CompareAndSwap(idA, idA, idB); err != nil {
+		t.Fatal(err)
+	}
+	if err := refs.CompareAndSwap(idC, idC, idB); err != nil {
+		t.Fatal(err)
+	}
+	m, err := refs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[idA] != idB || m[idC] != idB {
+		t.Fatalf("List = %v", m)
+	}
+}
+
+func TestNewestMTime(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt, err := st.NewestMTime(); err != nil || !mt.IsZero() {
+		t.Fatalf("empty store NewestMTime = %v, %v", mt, err)
+	}
+	plan := designTestPlan(t, 1, 30)
+	id, _, err := st.Put(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the file, then re-Put: the dedup path refreshes mtime, so
+	// NewestMTime must move forward again.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, id+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := st.NewestMTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(mt); d < 50*time.Minute {
+		t.Fatalf("backdated artefact age %v, want ~1h", d)
+	}
+	if _, _, err := st.Put(plan); err != nil {
+		t.Fatal(err)
+	}
+	mt, err = st.NewestMTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(mt); d > time.Minute {
+		t.Fatalf("re-Put did not refresh NewestMTime (age %v)", d)
+	}
+}
+
+func TestPruneLogsQuarantineSweep(t *testing.T) {
+	var buf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fabricate aged-out quarantine evidence.
+	qdir := st.QuarantineDir()
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{idA + ".json", idA + ".reason"} {
+		p := filepath.Join(qdir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-2 * time.Hour)
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := st.Prune(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pruned quarantined artefact") || !strings.Contains(out, idA) {
+		t.Errorf("quarantine sweep not logged: %q", out)
+	}
+}

@@ -1,0 +1,232 @@
+package repairsvc
+
+// The recalibration loop: what happens after the drift watcher alarms.
+// driftCheck runs once per repair request (off the per-record path) and
+// feeds the watcher the monitor's KS/PSI ratios and the blind engines'
+// posterior-confidence drift; when the watcher reaches alarmed, exactly one
+// goroutine per plan state claims the run and executes
+//
+//	refit (core.Design on the configured fresh research set, same options)
+//	  → canary (shadow-repair the reservoir sample under old and new,
+//	            judge E and damage under the configured tolerances)
+//	  → swap  (planstore ref CAS lineage → candidate; monitor rebind;
+//	           blind calibration refit rides along)
+//	  or rollback (incumbent stays; quiet period guards the alarm loop).
+//
+// Nothing here touches the serve path: repairs pin explicit fingerprints,
+// ps.engine is never replaced, and the only serving-state mutation is the
+// monitor rebind under ps.mu — the same lock every tap already takes. The
+// responses of a server running this loop are byte-identical to one with
+// the loop disabled.
+
+import (
+	"log/slog"
+	"math"
+	"os"
+
+	"otfair/internal/blind"
+	"otfair/internal/core"
+	"otfair/internal/dataset"
+	"otfair/internal/driftwatch"
+	"otfair/internal/fairmetrics"
+	"otfair/internal/monitor"
+	"otfair/internal/rng"
+)
+
+// driftCheck folds the current drift telemetry into the plan's watcher and
+// launches the recalibration loop when the watcher alarms. Called once per
+// repair request after the stream finishes; the snapshot under ps.mu is
+// cheap (the monitor aggregates incrementally).
+func (s *Server) driftCheck(ps *planState) {
+	ps.mu.Lock()
+	snap := ps.mon.Snapshot()
+	worst, haveConf := 0.0, false
+	for _, entry := range ps.blind {
+		t := entry.engine.Totals()
+		if t.Imputed == 0 {
+			continue
+		}
+		d := t.MeanConfidence() - entry.engine.Calibration().ResearchConfidence()
+		if !haveConf || math.Abs(d) > math.Abs(worst) {
+			worst = d
+		}
+		haveConf = true
+	}
+	ps.mu.Unlock()
+
+	ps.watch.SetScores(snap.MaxKSRatio, snap.MaxPSIRatio)
+	if haveConf {
+		ps.watch.SetConfidenceDrift(worst)
+	}
+	if ps.watch.State() != driftwatch.StateAlarmed {
+		return
+	}
+	// Claim the loop slot before claiming the alarm, so a lost CAS leaves
+	// the watcher alarmed for the next check instead of stranded.
+	if !ps.loopRunning.CompareAndSwap(false, true) {
+		return
+	}
+	runID, ok := ps.watch.ShouldRecalibrate()
+	if !ok {
+		ps.loopRunning.Store(false)
+		return
+	}
+	go s.runDriftLoop(ps, runID)
+}
+
+// runDriftLoop executes one alarm → refit → canary → swap/rollback run.
+// Every exit path goes through Watcher.Finish, so the state machine always
+// lands in swapped or rolled_back and the quiet period always starts.
+func (s *Server) runDriftLoop(ps *planState, runID string) {
+	defer ps.loopRunning.Store(false)
+	w := ps.watch
+	logger := w.Logger().With(slog.String("run", runID))
+
+	if s.opts.RecalibrateFrom == "" {
+		// Alarmed with nothing to act with: the alarm is still exported,
+		// the loop just cannot refit.
+		w.Finish(driftwatch.OutcomeRefitFailed, "",
+			slog.String("error", "no recalibration source configured"))
+		return
+	}
+	oldPlan := ps.engine.Plan()
+	research, err := readResearchCSV(s.opts.RecalibrateFrom)
+	if err != nil {
+		w.Finish(driftwatch.OutcomeRefitFailed, "", slog.String("error", err.Error()))
+		return
+	}
+	// Same design options as the incumbent: the refit tracks the drifted
+	// population, it does not change the experiment.
+	newPlan, err := core.Design(research, oldPlan.Opts)
+	if err != nil {
+		w.Finish(driftwatch.OutcomeRefitFailed, "", slog.String("error", err.Error()))
+		return
+	}
+	newID, _, err := s.store.Put(newPlan)
+	if err != nil {
+		w.Finish(driftwatch.OutcomeRefitFailed, "", slog.String("error", err.Error()))
+		return
+	}
+	logger.Info("refit complete", slog.String("candidate", newID),
+		slog.Int("research_records", research.Len()))
+
+	w.StartCanary()
+	sample := w.ReservoirSample()
+	oldStats := canaryStats(oldPlan, sample, s.opts.Metric)
+	newStats := canaryStats(newPlan, sample, s.opts.Metric)
+	verdict := driftwatch.Judge(oldStats, newStats, *s.opts.DriftWatch)
+	evidence := []slog.Attr{
+		slog.String("candidate", newID), slog.Int("sample", len(sample)),
+		slog.Float64("e_old", oldStats.E), slog.Float64("e_new", newStats.E),
+		slog.Float64("damage_old", oldStats.Damage), slog.Float64("damage_new", newStats.Damage),
+	}
+	if !verdict.Pass {
+		w.Finish(driftwatch.OutcomeRolledBack, verdict.Reason, evidence...)
+		return
+	}
+
+	// Canary passed: land the swap. The ref CAS names the current incumbent
+	// (which, after a previous run, is not the lineage itself), so two loops
+	// racing on one lineage cannot silently overwrite each other.
+	expected := s.refs.Resolve(ps.id)
+	if err := s.refs.CompareAndSwap(ps.id, expected, newID); err != nil {
+		w.Finish(driftwatch.OutcomeRefitFailed, "", slog.String("error", err.Error()))
+		return
+	}
+	// Rebind the drift monitor to the candidate: its reference windows now
+	// describe the population traffic actually drifted to, which is what
+	// makes the exported drift score recover after the swap. The serving
+	// engine is deliberately untouched — repairs pin explicit fingerprints.
+	if mon, merr := monitor.New(newPlan, s.opts.Monitor); merr == nil {
+		ps.mu.Lock()
+		ps.mon = mon
+		ps.mu.Unlock()
+	} else {
+		logger.Warn("monitor rebind failed", slog.String("error", merr.Error()))
+	}
+	s.recalibrateBlind(ps, newPlan, research, logger)
+	w.Finish(driftwatch.OutcomeSwapped, "", evidence...)
+}
+
+// recalibrateBlind refits the blind calibration against the candidate plan
+// and repoints every bound calibration lineage at it. Best-effort: blind
+// serving keeps working on the old calibrations either way (they pin their
+// own plan fingerprint), so a failure here degrades the ride-along, not the
+// plan swap.
+func (s *Server) recalibrateBlind(ps *planState, newPlan *core.Plan, research *dataset.Table, logger *slog.Logger) {
+	ps.mu.Lock()
+	calIDs := make([]string, 0, len(ps.blind))
+	for cid := range ps.blind {
+		calIDs = append(calIDs, cid)
+	}
+	ps.mu.Unlock()
+	if len(calIDs) == 0 {
+		return
+	}
+	newCal, err := blind.NewCalibration(newPlan, research)
+	if err != nil {
+		logger.Warn("blind calibration refit failed", slog.String("error", err.Error()))
+		return
+	}
+	ncID, _, err := s.cals.Put(newCal)
+	if err != nil {
+		logger.Warn("storing refitted calibration failed", slog.String("error", err.Error()))
+		return
+	}
+	for _, cid := range calIDs {
+		if err := s.refs.CompareAndSwap(cid, s.refs.Resolve(cid), ncID); err != nil {
+			logger.Warn("calibration ref swap failed",
+				slog.String("lineage", cid), slog.String("error", err.Error()))
+		}
+	}
+}
+
+// canaryStats shadow-repairs the reservoir sample under one plan and
+// measures the result with the serving metric configuration. Any failure —
+// dimension mismatch, repair error, an E the sample cannot support — yields
+// NaN stats, which Judge rejects as nan_metric: a swap that cannot be
+// justified must not happen.
+func canaryStats(plan *core.Plan, sample []dataset.Record, metric fairmetrics.Config) driftwatch.CanaryStats {
+	if len(sample) == 0 {
+		return driftwatch.CanaryStats{}
+	}
+	nan := driftwatch.CanaryStats{E: math.NaN(), Damage: math.NaN(), Records: len(sample)}
+	before, err := dataset.NewTable(plan.Dim, nil)
+	if err != nil {
+		return nan
+	}
+	for _, rec := range sample {
+		if before.Append(rec) != nil {
+			return nan
+		}
+	}
+	// Fixed seed: both sides of the comparison repair the same sample with
+	// the same randomness, so the verdict measures the plans, not the draw.
+	rp, err := core.NewRepairer(plan, rng.New(1), core.RepairOptions{})
+	if err != nil {
+		return nan
+	}
+	after, err := rp.RepairTable(before)
+	if err != nil {
+		return nan
+	}
+	e, err := fairmetrics.E(after, metric)
+	if err != nil {
+		return nan
+	}
+	dmg, err := fairmetrics.Damage(before, after)
+	if err != nil {
+		return nan
+	}
+	return driftwatch.CanaryStats{E: e, Damage: dmg, Records: len(sample)}
+}
+
+// readResearchCSV loads the configured fresh research set.
+func readResearchCSV(path string) (*dataset.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}

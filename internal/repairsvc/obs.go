@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -19,6 +20,8 @@ import (
 	"strings"
 	"time"
 
+	"otfair/internal/blind"
+	"otfair/internal/blindsvc"
 	"otfair/internal/core"
 	"otfair/internal/obs"
 	"otfair/internal/planstore"
@@ -50,7 +53,7 @@ type serverObs struct {
 // so request-supplied paths can never mint new series.
 var routes = []string{
 	"healthz", "readyz", "buildinfo", "plans", "plan_get",
-	"calibrations", "calibration_get", "repair", "metrics", "metrics_prom", "other",
+	"calibrations", "calibration_get", "repair", "refs", "metrics", "metrics_prom", "other",
 }
 
 // routeLabel maps a request to its route label without touching r.Pattern
@@ -70,6 +73,8 @@ func routeLabel(r *http.Request) string {
 		return "calibrations"
 	case "/v1/repair":
 		return "repair"
+	case "/v1/refs":
+		return "refs"
 	case "/v1/metrics":
 		return "metrics"
 	case "/metrics":
@@ -169,6 +174,66 @@ func newServerObs(s *Server) *serverObs {
 		}
 	}
 
+	// Artefact freshness, sampled at scrape time from the stores' file
+	// mtimes — the fleet-level "is anything recalibrating?" signal that
+	// pairs with the drift series: a swapped recalibration moves this
+	// toward zero.
+	for _, ns := range []struct {
+		kind   string
+		newest func() (time.Time, error)
+	}{
+		{"plan", s.store.NewestMTime},
+		{"calibration", s.cals.NewestMTime},
+	} {
+		newest := ns.newest
+		reg.GaugeFunc("otfair_artefact_age_seconds",
+			"Age of the youngest stored artefact per namespace (NaN while the namespace is empty).",
+			func() float64 {
+				mt, err := newest()
+				if err != nil || mt.IsZero() {
+					return math.NaN()
+				}
+				return time.Since(mt).Seconds()
+			}, "kind", ns.kind)
+	}
+
+	// Blind telemetry, aggregated across every bound blind engine at scrape
+	// time. Aggregation is what bounds the cardinality: the series carry no
+	// calibration label, so an unbounded calibration population cannot mint
+	// series. Evicting a cold blind engine drops its contribution (the
+	// serving state is not the durable tier); rate() users should treat
+	// resets like restarts.
+	reg.GaugeFunc("otfair_blind_mean_confidence",
+		"Mean MAP-posterior confidence over imputed records, all bound calibrations (NaN before any imputation).",
+		func() float64 {
+			a := s.blindAggregate()
+			if a.Imputed == 0 {
+				return math.NaN()
+			}
+			return a.ConfidenceSum / float64(a.Imputed)
+		})
+	reg.GaugeFunc("otfair_blind_confidence_drift",
+		"Imputation-weighted drift of serving-time posterior confidence from the research baseline (NaN before any imputation).",
+		func() float64 {
+			a := s.blindAggregate()
+			if a.Imputed == 0 {
+				return math.NaN()
+			}
+			return (a.ConfidenceSum - a.BaseSum) / float64(a.Imputed)
+		})
+	reg.CounterFunc("otfair_blind_imputed_total",
+		"Records repaired under the posterior (s label imputed), all bound calibrations.",
+		func() float64 { return float64(s.blindAggregate().Imputed) })
+	reg.CounterFunc("otfair_blind_labels_used_total",
+		"Blind-endpoint records that arrived with an observed s label, all bound calibrations.",
+		func() float64 { return float64(s.blindAggregate().LabelsUsed) })
+	for i := 0; i < blind.AmbiguityBinCount; i++ {
+		i := i
+		reg.CounterFunc("otfair_blind_ambiguity_total",
+			"Imputed records by posterior-ambiguity bin (bin 0 = most confident, highest bin = coin-flip).",
+			func() float64 { return float64(s.blindAggregate().Bins[i]) }, "bin", strconv.Itoa(i))
+	}
+
 	reg.CounterFunc("otfair_shed_total", "Requests refused by the admission gate.",
 		func() float64 { return float64(s.res.Shed.Load()) })
 	reg.CounterFunc("otfair_deadline_exceeded_total", "Repairs aborted by the per-request budget.",
@@ -203,6 +268,48 @@ func newServerObs(s *Server) *serverObs {
 		"version", version, "go", goVersion, "revision", revision)
 
 	return om
+}
+
+// blindAgg is the scrape-time fold of every bound blind engine's counters.
+type blindAgg struct {
+	LabelsUsed, Imputed int64
+	// ConfidenceSum accumulates max(γ, 1−γ) over imputed records; BaseSum
+	// accumulates Imputed × research-time baseline confidence, so
+	// (ConfidenceSum − BaseSum) / Imputed is the imputation-weighted drift.
+	ConfidenceSum, BaseSum float64
+	Bins                   [blind.AmbiguityBinCount]int64
+}
+
+// blindAggregate folds the blind telemetry of every bound plan state. Lock
+// order is Server.mu then planState.mu, the same order every handler uses,
+// and engine counters are read outside both locks.
+func (s *Server) blindAggregate() blindAgg {
+	var a blindAgg
+	s.mu.Lock()
+	states := make([]*planState, 0, len(s.states))
+	for _, ps := range s.states {
+		states = append(states, ps)
+	}
+	s.mu.Unlock()
+	for _, ps := range states {
+		ps.mu.Lock()
+		engines := make([]*blindsvc.Engine, 0, len(ps.blind))
+		for _, entry := range ps.blind {
+			engines = append(engines, entry.engine)
+		}
+		ps.mu.Unlock()
+		for _, eng := range engines {
+			t := eng.Totals()
+			a.LabelsUsed += t.LabelsUsed
+			a.Imputed += t.Imputed
+			a.ConfidenceSum += t.ConfidenceSum
+			a.BaseSum += float64(t.Imputed) * eng.Calibration().ResearchConfidence()
+			for i, v := range t.AmbiguityBins {
+				a.Bins[i] += v
+			}
+		}
+	}
+	return a
 }
 
 // buildInfo extracts version/go/revision from the embedded build info,

@@ -19,6 +19,7 @@ import (
 	"otfair/internal/blindsvc"
 	"otfair/internal/core"
 	"otfair/internal/dataset"
+	"otfair/internal/driftwatch"
 	"otfair/internal/fairmetrics"
 	"otfair/internal/faultinject"
 	"otfair/internal/kde"
@@ -101,6 +102,19 @@ type ServerOptions struct {
 	// requests log at Info with their request ID; slow ones at Warn with a
 	// stage breakdown.
 	Logger *slog.Logger
+	// DriftWatch, when non-nil, arms the drift-observability control loop:
+	// every bound plan gets a driftwatch.Watcher fed by the monitor's KS/PSI
+	// ratios and the blind engines' confidence drift, and an alarmed plan
+	// triggers the recalibration loop (refit from RecalibrateFrom, canary on
+	// a reservoir of recent traffic, atomic ref swap on pass). The loop runs
+	// in its own goroutine off the serve path, and repairs keep pinning
+	// their explicit fingerprints — a swap never changes the bytes of any
+	// in-flight or future request.
+	DriftWatch *driftwatch.Config
+	// RecalibrateFrom is the fresh research CSV the loop refits from. An
+	// alarmed plan with no configured source finishes refit_failed — the
+	// alarm is still exported, there is just nothing to act with.
+	RecalibrateFrom string
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -198,6 +212,7 @@ func errStatusOr(err error, fallback int) int {
 type Server struct {
 	store *planstore.Store
 	cals  *planstore.CalibrationStore
+	refs  *planstore.Refs
 	opts  ServerOptions
 	mux   *http.ServeMux
 
@@ -216,7 +231,16 @@ type Server struct {
 // serially from the repair sink path under mu) and the blind engines bound
 // per calibration, all sharing the labelled engine's sampler.
 type planState struct {
+	// id is the fingerprint this state was bound under — the lineage the
+	// drift loop records its ref swaps against.
+	id     string
 	engine *Engine
+	// watch is the drift state machine (nil unless ServerOptions.DriftWatch);
+	// it has its own lock and scrape-safe atomics, so it is fed outside mu.
+	watch *driftwatch.Watcher
+	// loopRunning serializes the recalibration loop: at most one goroutine
+	// per plan state, claimed with a CAS after the watcher alarms.
+	loopRunning atomic.Bool
 	// lastUsed is the Server.clock value of the most recent touch,
 	// guarded by Server.mu.
 	lastUsed uint64
@@ -289,13 +313,18 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("repairsvc: nil store")
 	}
-	cals, err := planstore.OpenCalibrations(store.Dir(), planstore.Options{CacheSize: opts.CalibrationCacheSize, Fault: opts.Fault})
+	cals, err := planstore.OpenCalibrations(store.Dir(), planstore.Options{CacheSize: opts.CalibrationCacheSize, Fault: opts.Fault, Logger: opts.Logger})
+	if err != nil {
+		return nil, err
+	}
+	refs, err := planstore.OpenRefs(store.Dir(), opts.Logger)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		store:  store,
 		cals:   cals,
+		refs:   refs,
 		opts:   opts.withDefaults(),
 		mux:    http.NewServeMux(),
 		states: make(map[string]*planState),
@@ -314,9 +343,25 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/calibrations", s.handleCalibrationsList)
 	s.mux.HandleFunc("GET /v1/calibrations/{id}", s.handleCalibrationGet)
 	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	s.mux.HandleFunc("GET /v1/refs", s.handleRefsList)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	return s, nil
+}
+
+// Refs exposes the lineage → active fingerprint namespace the drift loop
+// swaps through.
+func (s *Server) Refs() *planstore.Refs { return s.refs }
+
+// handleRefsList reports every lineage → active mapping: which artefacts
+// the recalibration loop has replaced, and with what.
+func (s *Server) handleRefsList(w http.ResponseWriter, r *http.Request) {
+	m, err := s.refs.List()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"refs": m})
 }
 
 // Registry exposes the server's metric registry so callers can register
@@ -412,11 +457,22 @@ func (s *Server) state(id string) (*planState, error) {
 		return nil, err
 	}
 	ps := &planState{
+		id:       id,
 		engine:   engine,
 		mon:      mon,
 		original: newRecordWindow(plan.Dim, s.opts.MetricWindow),
 		repaired: newRecordWindow(plan.Dim, s.opts.MetricWindow),
 		blind:    make(map[string]*blindEntry),
+	}
+	if s.opts.DriftWatch != nil {
+		// The artefact label value is the store-resolved plan id — never
+		// request input — and the watcher set is bounded by MaxBoundPlans,
+		// which is what keeps the drift series cardinality bounded.
+		cfg := *s.opts.DriftWatch
+		if cfg.Logger == nil {
+			cfg.Logger = s.opts.Logger
+		}
+		ps.watch = driftwatch.New(id, cfg, s.om.reg)
 	}
 	s.mu.Lock()
 	if prior, ok := s.states[id]; ok {
@@ -830,7 +886,6 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	observed := in
 	tap := func(orig dataset.Record) {
 		ps.mu.Lock()
-		defer ps.mu.Unlock()
 		ps.original.add(orig)
 		alarms, _ := ps.mon.Observe(orig)
 		if len(alarms) > 0 {
@@ -839,6 +894,13 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			if over := len(ps.alarms) - s.opts.MaxAlarms; over > 0 {
 				ps.alarms = append(ps.alarms[:0], ps.alarms[over:]...)
 			}
+		}
+		ps.mu.Unlock()
+		// The watcher has its own lock and only copies records the
+		// reservoir actually admits, so this is O(1) per record and stays
+		// off the response path entirely when drift-watch is disabled.
+		if ps.watch != nil {
+			ps.watch.Observe(orig)
 		}
 	}
 	tapped := &tapStream{inner: observed, tap: tap, tr: tr}
@@ -864,6 +926,14 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	n, err := run(ctx, rng.New(seed), tapped, repairedSink)
 	records = n
 	tr.Set(obs.StageShardExecute, time.Since(runStart)-tr.Get(obs.StageDecode)-tr.Get(obs.StageEncode))
+	// Feed the drift state machine once per request (not per record): the
+	// monitor's window statistics barely move within one stream, and a
+	// per-request cadence is what AlarmAfter consecutive alarming updates
+	// counts. Runs for failed repairs too — the records already observed
+	// are real traffic evidence.
+	if ps.watch != nil && n > 0 {
+		s.driftCheck(ps)
+	}
 	if err != nil {
 		s.noteFailure(ctx, err)
 		if !tw.started {
@@ -1067,5 +1137,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	out["metric"] = metric
 	out["blind"] = blindMetrics(ps)
+	if ps.watch != nil {
+		out["driftwatch"] = ps.watch.Snapshot()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
