@@ -22,7 +22,7 @@ JOINT = BenchmarkJointDesign$$|BenchmarkJointDesignDense$$|BenchmarkJointRepair$
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
-.PHONY: build verify verify-ci test vet race soak drift-scenario bench bench-micro serve-smoke
+.PHONY: build verify verify-ci test vet lint race soak drift-scenario bench bench-micro serve-smoke
 
 build:
 	$(GO) build ./...
@@ -33,13 +33,21 @@ vet:
 test:
 	$(GO) test ./...
 
+# otfairlint: the repo's own analyzer suite (mapiter, nondetsource,
+# metriclabel, hookrecv, naninput — see DESIGN.md "Enforced invariants").
+# Stdlib-only, builds with the module, exits nonzero on any finding or on
+# a malformed //otfair: escape directive.
+lint:
+	$(GO) run ./cmd/otfairlint ./...
+
 # Tier-1 verify line (see ROADMAP.md).
 verify: vet build test
 
-# CI verify: the tier-1 gate plus a known-vulnerability scan when
-# govulncheck is available (never a hard dependency — offline and
-# minimal toolchains still get the full tier-1 result).
-verify-ci: verify
+# CI verify: the tier-1 gate plus the invariant lint suite, plus a
+# known-vulnerability scan when govulncheck is available (never a hard
+# dependency — offline and minimal toolchains still get the full tier-1
+# result).
+verify-ci: verify lint
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \

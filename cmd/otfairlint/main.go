@@ -1,0 +1,159 @@
+// Command otfairlint is the repo's invariant multichecker: it runs the
+// internal/analysis suite — mapiter, nondetsource, metriclabel, hookrecv,
+// naninput — over the named package patterns and fails the build on any
+// unsuppressed finding.
+//
+// Usage:
+//
+//	otfairlint [-only mapiter,hookrecv] [packages]
+//
+// Patterns default to ./.... Findings print as file:line:col: analyzer:
+// message, sorted, deterministic. A finding is suppressed by a
+// //otfair:<directive> comment with a non-empty reason on the same line or
+// the line above (each analyzer documents its directive); unknown
+// directive names and empty reasons are themselves findings, so a typoed
+// escape cannot silently disable a check. Exit status: 0 clean, 1
+// findings, 2 load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"otfair/internal/analysis"
+	"otfair/internal/analysis/hookrecv"
+	"otfair/internal/analysis/load"
+	"otfair/internal/analysis/mapiter"
+	"otfair/internal/analysis/metriclabel"
+	"otfair/internal/analysis/naninput"
+	"otfair/internal/analysis/nondetsource"
+)
+
+// suite is every analyzer otfairlint runs, in reporting order.
+var suite = []*analysis.Analyzer{
+	mapiter.Analyzer,
+	nondetsource.Analyzer,
+	metriclabel.Analyzer,
+	hookrecv.Analyzer,
+	naninput.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: otfairlint [-only names] [packages]\n\nanalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otfairlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otfairlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "otfairlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run loads the patterns and returns the formatted, sorted findings.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]string, error) {
+	pkgs, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	type finding struct {
+		pos token.Position
+		msg string
+	}
+	var all []finding
+	for _, pkg := range pkgs {
+		supp := analysis.NewSuppressor(pkg.Fset, pkg.Files)
+		// Directive hygiene: unknown names and missing reasons are findings
+		// in their own right (and are not themselves suppressible).
+		for _, d := range supp.All() {
+			switch {
+			case !analysis.KnownDirectives[d.Name]:
+				all = append(all, finding{pkg.Fset.Position(d.Pos),
+					fmt.Sprintf("directive: unknown directive //otfair:%s", d.Name)})
+			case d.Reason == "":
+				all = append(all, finding{pkg.Fset.Position(d.Pos),
+					fmt.Sprintf("directive: //otfair:%s needs a non-empty reason", d.Name)})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if a.Directive != "" && supp.Suppressed(a.Directive, d.Pos) {
+					return
+				}
+				all = append(all, finding{pkg.Fset.Position(d.Pos),
+					fmt.Sprintf("%s: %s", a.Name, d.Message)})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.msg < b.msg
+	})
+	out := make([]string, len(all))
+	for i, f := range all {
+		out[i] = fmt.Sprintf("%s: %s", f.pos, f.msg)
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"otfair/internal/analysis"
+)
+
+// moduleRoot locates the repo root relative to this test file.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..")
+}
+
+// TestDirectiveHygiene walks every .go file in the module — fixtures
+// included — and asserts each //otfair:* directive uses a known name and
+// carries a non-empty reason. The cmd/otfairlint driver enforces the same
+// rule per run; this test covers files the lint patterns might not load
+// (testdata, future build-tagged files).
+func TestDirectiveHygiene(t *testing.T) {
+	fset := token.NewFileSet()
+	count := 0
+	err := filepath.WalkDir(moduleRoot(t), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := analysis.ParseDirective(c)
+				if !ok {
+					continue
+				}
+				count++
+				pos := fset.Position(c.Pos())
+				switch {
+				case !analysis.KnownDirectives[dir.Name]:
+					t.Errorf("%s: unknown directive //otfair:%s", pos, dir.Name)
+				case dir.Reason == "":
+					t.Errorf("%s: //otfair:%s has no reason; every suppression must say why", pos, dir.Name)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("no //otfair: directives found anywhere in the module; the walk is broken")
+	}
+}
+
+// TestSuppressorWindow pins the suppression rule: same line or the line
+// immediately above, nothing else.
+func TestSuppressorWindow(t *testing.T) {
+	const src = `package p
+
+func f(m map[string]int) {
+	//otfair:nondet-ok above the site
+	for range m {
+	}
+	for range m { //otfair:nondet-ok same line
+	}
+	//otfair:nondet-ok two lines up, out of the window
+
+	for range m {
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supp := analysis.NewSuppressor(fset, []*ast.File{f})
+	posAtLine := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !supp.Suppressed(analysis.DirNondetOK, posAtLine(5)) {
+		t.Error("line 5: directive on the line above must suppress")
+	}
+	if !supp.Suppressed(analysis.DirNondetOK, posAtLine(7)) {
+		t.Error("line 7: directive on the same line must suppress")
+	}
+	if supp.Suppressed(analysis.DirNondetOK, posAtLine(11)) {
+		t.Error("line 11: directive two lines up must NOT suppress")
+	}
+	if supp.Suppressed(analysis.DirNilRecvOK, posAtLine(5)) {
+		t.Error("line 5: a different directive name must NOT suppress")
+	}
+}

@@ -1,0 +1,189 @@
+// Package hookrecv enforces the nil-receiver-safe hook contract in the
+// instrumentation packages (obs, shardrun, faultinject).
+//
+// The serving hot paths are instrumented through pointer hooks whose nil
+// value is the production no-op: an uninstrumented deployment holds nil
+// *obs.Counter / *shardrun.Obs / *faultinject.Injector pointers and pays
+// exactly one pointer check per record point. That only works if every
+// method on a hook type guards `if recv == nil` before touching a field —
+// a single unguarded field access turns "not instrumented" into a panic
+// on the hot path.
+//
+// Hook types opt in with a //otfair:nilsafe <reason> marker on their type
+// declaration. For a marked type the analyzer requires, per pointer-
+// receiver method, a receiver nil check (in any evaluation position that
+// precedes field access: a leading if, or the left arm of && / ||) before
+// the first receiver field access; value-receiver methods are rejected
+// outright, since calling one derefs the nil pointer at the call site.
+// Internal helpers only reachable after an exported method's guard carry
+// //otfair:nilrecv-ok. Unmarked types in the hook packages whose methods
+// already nil-guard are told to add the marker, so the contract
+// propagates to new hook types instead of silently lapsing.
+package hookrecv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"otfair/internal/analysis"
+)
+
+// Analyzer is the hookrecv invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "hookrecv",
+	Doc:       "methods of //otfair:nilsafe hook types must nil-check the receiver before any field access",
+	Directive: analysis.DirNilRecvOK,
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HookPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	marked := markedTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			named := recvNamed(pass, recvField)
+			if named == nil {
+				continue
+			}
+			isMarked := marked[named.Obj()]
+			_, isPtr := recvField.Type.(*ast.StarExpr)
+			if isMarked && !isPtr {
+				pass.Reportf(fd.Name.Pos(),
+					"method %s.%s has a value receiver, but //otfair:nilsafe %s is called through possibly-nil pointers; use a pointer receiver with a nil guard",
+					named.Obj().Name(), fd.Name.Name, named.Obj().Name())
+				continue
+			}
+			if !isPtr {
+				continue
+			}
+			recvObj := recvVar(pass, recvField)
+			if recvObj == nil || fd.Body == nil {
+				continue
+			}
+			guarded, access := firstEvent(pass, fd.Body, recvObj)
+			switch {
+			case isMarked && !guarded && access != nil:
+				pass.Reportf(access.Pos(),
+					"field access %s before a nil-receiver guard in method %s.%s of //otfair:nilsafe type; add `if %s == nil` first or annotate //otfair:nilrecv-ok <reason>",
+					types.ExprString(access), named.Obj().Name(), fd.Name.Name, recvObj.Name())
+			case !isMarked && guarded:
+				pass.Reportf(fd.Name.Pos(),
+					"method %s.%s nil-checks its receiver but type %s is not marked //otfair:nilsafe; add the marker so every method of the hook type is checked",
+					named.Obj().Name(), fd.Name.Name, named.Obj().Name())
+			}
+		}
+	}
+	return nil
+}
+
+// markedTypes collects the package's //otfair:nilsafe type declarations.
+func markedTypes(pass *analysis.Pass) map[types.Object]bool {
+	marked := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if _, ok := analysis.CommentGroupDirective(cg, analysis.DirNilSafe); ok {
+						marked[pass.TypesInfo.Defs[ts.Name]] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// recvNamed resolves the named type of a method receiver field.
+func recvNamed(pass *analysis.Pass, field *ast.Field) *types.Named {
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok {
+		return nil
+	}
+	return analysis.ReceiverNamed(tv.Type)
+}
+
+// recvVar returns the receiver variable object ("" and unnamed receivers
+// yield nil: they cannot be dereferenced).
+func recvVar(pass *analysis.Pass, field *ast.Field) *types.Var {
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[field.Names[0]].(*types.Var)
+	return v
+}
+
+// firstEvent walks body in evaluation (pre-)order and classifies the first
+// receiver event: a nil comparison against recv (guarded=true) or a field
+// access through recv (returned as access). Method calls through the
+// receiver are not events — a method call on a nil pointer receiver is
+// legal and the callee owns its own guard.
+func firstEvent(pass *analysis.Pass, body *ast.BlockStmt, recv *types.Var) (guarded bool, access ast.Expr) {
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if isNilCompare(pass, n, recv) {
+				guarded, done = true, true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if !isRecvIdent(pass, n.X, recv) {
+				return true
+			}
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				access, done = n, true
+				return false
+			}
+			// Method value/call through the receiver: skip the selector so
+			// the receiver ident below it is not misread, but keep walking
+			// siblings.
+			return false
+		case *ast.FuncLit:
+			// A closure body runs later (and often post-guard); its
+			// accesses are not "before the guard" in evaluation order.
+			return false
+		}
+		return true
+	})
+	return guarded, access
+}
+
+// isNilCompare reports whether e is `recv == nil` or `recv != nil` (either
+// operand order).
+func isNilCompare(pass *analysis.Pass, e *ast.BinaryExpr, recv *types.Var) bool {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return false
+	}
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	return (isRecvIdent(pass, x, recv) && isNil(pass, y)) ||
+		(isRecvIdent(pass, y, recv) && isNil(pass, x))
+}
+
+func isRecvIdent(pass *analysis.Pass, e ast.Expr, recv *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,16 @@
+package hookrecv_test
+
+import (
+	"testing"
+
+	"otfair/internal/analysis/checktest"
+	"otfair/internal/analysis/hookrecv"
+)
+
+func TestHookPackage(t *testing.T) {
+	checktest.Run(t, hookrecv.Analyzer, "testdata/hooks", "otfair/internal/obs")
+}
+
+func TestNeutralPackage(t *testing.T) {
+	checktest.Run(t, hookrecv.Analyzer, "testdata/neutral", "example.com/neutral")
+}

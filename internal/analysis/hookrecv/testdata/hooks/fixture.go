@@ -1,0 +1,79 @@
+// Fixture for hookrecv, type-checked as one of the hook packages.
+package fixture
+
+// Counter is a marked hook type: nil means uninstrumented.
+//
+//otfair:nilsafe nil pointer is the uninstrumented production no-op
+type Counter struct {
+	n int64
+}
+
+// Add guards before touching fields: the contract.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n += delta
+}
+
+// AddIf guards in the left arm of &&, which also precedes field access in
+// evaluation order.
+func (c *Counter) AddIf(delta int64) {
+	if c != nil && c.n >= 0 {
+		c.n += delta
+	}
+}
+
+// Bad touches a field before any guard.
+func (c *Counter) Bad(delta int64) {
+	c.n += delta // want "field access c.n before a nil-receiver guard in method Counter.Bad"
+}
+
+// Value derefs the nil pointer at the call site before the body runs.
+func (c Counter) Value() int64 { // want "method Counter.Value has a value receiver"
+	return c.n
+}
+
+// AddTwo only calls methods through the receiver — legal on nil, the
+// callee owns the guard. No finding.
+func (c *Counter) AddTwo() {
+	c.Add(2)
+}
+
+// Deferred closures run after the guard in evaluation order; accesses
+// inside them are not "before the guard".
+func (c *Counter) Scoped(f func()) {
+	if c == nil {
+		return
+	}
+	defer func() { c.n++ }()
+	f()
+}
+
+// helper is only reachable from guarded exported methods.
+func (c *Counter) helper() int64 {
+	//otfair:nilrecv-ok only called from Add/AddIf after their nil guards
+	return c.n
+}
+
+// Gauge nil-guards its methods but never opted in: the analyzer demands
+// the marker so the contract propagates to new hook types.
+type Gauge struct {
+	v float64
+}
+
+func (g *Gauge) Set(v float64) { // want "method Gauge.Set nil-checks its receiver but type Gauge is not marked"
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// plain is not a hook type and never guards: no findings either way.
+type plain struct {
+	x int
+}
+
+func (p *plain) bump() {
+	p.x++
+}

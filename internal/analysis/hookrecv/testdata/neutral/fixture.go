@@ -1,0 +1,12 @@
+// Fixture for hookrecv outside the hook packages: even a marked type with
+// an unguarded method is out of scope.
+package fixture
+
+//otfair:nilsafe marker present but the package is not a hook package
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Add(delta int64) {
+	c.n += delta
+}

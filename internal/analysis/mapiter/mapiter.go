@@ -1,0 +1,57 @@
+// Package mapiter flags `for ... range` over maps in determinism-critical
+// packages.
+//
+// The serving contract pins repair output byte-identical across runs and
+// worker counts, and Go map iteration order is deliberately randomized per
+// run — so a map range on a solver, serialization or serving path is a
+// latent nondeterminism bug even when today's body happens to be a
+// commutative fold. The fix is to iterate sorted keys (or an explicitly
+// ordered slice); sites where order provably cannot reach an output —
+// scrape-time aggregation, cache teardown into commutative counters —
+// carry a //otfair:nondet-ok directive with the proof in the reason.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"otfair/internal/analysis"
+)
+
+// Analyzer is the mapiter invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "mapiter",
+	Doc:       "flag range-over-map in determinism-critical packages (byte-identical repair contract)",
+	Directive: analysis.DirNondetOK,
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterminismCritical[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			// A bodyless-variable range (`for range m`) only counts
+			// iterations; order is unobservable.
+			if rs.Key == nil && rs.Value == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.For,
+					"range over map %s iterates in nondeterministic order inside determinism-critical package %s; iterate sorted keys, or annotate //otfair:nondet-ok <reason> if order cannot reach an output",
+					types.ExprString(rs.X), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

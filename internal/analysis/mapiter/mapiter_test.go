@@ -1,0 +1,16 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"otfair/internal/analysis/checktest"
+	"otfair/internal/analysis/mapiter"
+)
+
+func TestCriticalPackage(t *testing.T) {
+	checktest.Run(t, mapiter.Analyzer, "testdata/critical", "otfair/internal/core")
+}
+
+func TestNeutralPackage(t *testing.T) {
+	checktest.Run(t, mapiter.Analyzer, "testdata/neutral", "example.com/neutral")
+}

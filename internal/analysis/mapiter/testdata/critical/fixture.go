@@ -1,0 +1,69 @@
+// Fixture for mapiter, type-checked as a determinism-critical package.
+package fixture
+
+import (
+	"maps"
+	"slices"
+)
+
+func keyAndValue(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want "range over map m iterates in nondeterministic order"
+		total += len(k) + v
+	}
+	return total
+}
+
+func valueOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func keyOnly(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// countOnly observes nothing but the iteration count; order is
+// unobservable, so no finding.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sortedIteration is the sanctioned replacement: no range statement ever
+// sees the map.
+func sortedIteration(m map[string]int) int {
+	total := 0
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		total += m[k]
+	}
+	return total
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// suppressed is a commutative fold with the proof in the directive reason.
+func suppressed(m map[string]int) int {
+	total := 0
+	//otfair:nondet-ok commutative integer sum, order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Fixture for mapiter under a package path outside the
+// determinism-critical set: the same map ranges must produce no findings.
+package fixture
+
+func keyAndValue(m map[string]int) int {
+	total := 0
+	for k, v := range m {
+		total += len(k) + v
+	}
+	return total
+}
+
+func keyOnly(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,487 @@
+// Package metriclabel guards the bounded-Prometheus-cardinality contract:
+// every label key and value handed to an obs.Registry registration must
+// come from a statically visible, closed set.
+//
+// A label value data-flowed from request input (a plan fingerprint, a
+// URL path, a client-supplied method string) lets traffic mint new series
+// without bound — the classic cardinality explosion PR 7/8 only defend
+// against dynamically (route collapsing, scrape-time aggregation, a
+// hostile-plan-ID test). This analyzer makes the defense structural: a
+// label argument is accepted only when the checker can prove it bounded —
+//
+//   - a string constant;
+//   - a range variable over a composite literal (or a package-level var
+//     initialized to one) whose relevant elements are constants;
+//   - a field selected from such a range variable's struct elements;
+//   - strconv.Itoa of a bounded int (a constant, or the index variable of
+//     a constant-bounded for loop);
+//   - String() called on a bounded value, or a concatenation of bounded
+//     strings.
+//
+// Everything else is flagged. Dynamic-but-bounded sites (bound-artefact
+// fingerprints, server-chosen status codes, build identity) carry a
+// //otfair:cardinality-ok directive whose reason states the bound.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"otfair/internal/analysis"
+)
+
+// Analyzer is the metriclabel invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "metriclabel",
+	Doc:       "obs metric label keys/values must come from statically bounded sets (no request-derived cardinality)",
+	Directive: analysis.DirCardinalityOK,
+	Run:       run,
+}
+
+// obsPkg is the registry package whose labelled registrations are checked.
+const obsPkg = "otfair/internal/obs"
+
+// labelStart maps obs.Registry method names to the index of their first
+// variadic label argument.
+var labelStart = map[string]int{
+	"CounterL":    2,
+	"GaugeL":      2,
+	"HistogramL":  3,
+	"CounterFunc": 3,
+	"GaugeFunc":   3,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == obsPkg {
+		// The registry's own plumbing manipulates label strings freely.
+		return nil
+	}
+	res := newResolver(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			start, ok := registryLabelCall(pass, call)
+			if !ok {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				pass.Reportf(call.Ellipsis,
+					"label list spread into %s cannot be statically bounded; pass literal key/value pairs or annotate //otfair:cardinality-ok <reason>",
+					types.ExprString(call.Fun))
+				return true
+			}
+			for i := start; i < len(call.Args); i++ {
+				arg := call.Args[i]
+				if res.bounded(arg, 0) {
+					continue
+				}
+				role := "value"
+				if (i-start)%2 == 0 {
+					role = "key"
+				}
+				pass.Reportf(arg.Pos(),
+					"metric label %s %s is not statically bounded — label sets must be closed so traffic cannot mint Prometheus series; use a fixed set or annotate //otfair:cardinality-ok <reason>",
+					role, types.ExprString(arg))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryLabelCall reports whether call is a labelled obs.Registry
+// registration and, if so, the index of its first label argument.
+func registryLabelCall(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return 0, false
+	}
+	start, ok := labelStart[fn.Name()]
+	if !ok {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0, false
+	}
+	named := analysis.ReceiverNamed(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "Registry" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPkg {
+		return 0, false
+	}
+	return start, true
+}
+
+// resolver indexes the package's variable bindings so boundedness can be
+// decided without full dataflow: range bindings, plain assignment sources,
+// and constant-bounded for-loop index variables.
+type resolver struct {
+	pass *analysis.Pass
+	// rangeOf maps a variable to the range statement binding it.
+	rangeOf map[*types.Var]*rangeBinding
+	// sources maps a variable to every expression assigned to it.
+	sources map[*types.Var][]ast.Expr
+	// multi marks variables bound from a multi-value assignment (a call
+	// or map/type-assert comma-ok), which are never bounded.
+	multi map[*types.Var]bool
+	// param marks function/method/closure parameters and named results:
+	// their incoming value is caller-controlled, so later constant
+	// assignments in the body must not launder them into bounded sets.
+	param map[*types.Var]bool
+	// loopVar marks `for i := C0; i < C1; i++` index variables.
+	loopVar map[*types.Var]bool
+}
+
+func newResolver(pass *analysis.Pass) *resolver {
+	r := &resolver{
+		pass:    pass,
+		rangeOf: make(map[*types.Var]*rangeBinding),
+		sources: make(map[*types.Var][]ast.Expr),
+		multi:   make(map[*types.Var]bool),
+		param:   make(map[*types.Var]bool),
+		loopVar: make(map[*types.Var]bool),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, r.index)
+	}
+	return r
+}
+
+type rangeBinding struct {
+	stmt  *ast.RangeStmt
+	isKey bool
+}
+
+func (r *resolver) obj(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := r.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := r.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// index records every binding form the boundedness rules understand.
+func (r *resolver) index(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if v := r.obj(n.Key); v != nil {
+			r.rangeOf[v] = &rangeBinding{stmt: n, isKey: true}
+		}
+		if v := r.obj(n.Value); v != nil {
+			r.rangeOf[v] = &rangeBinding{stmt: n, isKey: false}
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				if v := r.obj(lhs); v != nil {
+					r.sources[v] = append(r.sources[v], n.Rhs[i])
+				}
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				if v := r.obj(lhs); v != nil {
+					r.multi[v] = true
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for i, name := range n.Names {
+			v := r.obj(name)
+			if v == nil {
+				continue
+			}
+			switch {
+			case len(n.Values) == len(n.Names):
+				r.sources[v] = append(r.sources[v], n.Values[i])
+			case len(n.Values) != 0:
+				r.multi[v] = true
+			}
+		}
+	case *ast.ForStmt:
+		r.indexForLoop(n)
+	case *ast.FuncDecl:
+		r.indexParams(n.Recv, n.Type)
+	case *ast.FuncLit:
+		r.indexParams(nil, n.Type)
+	}
+	return true
+}
+
+func (r *resolver) indexParams(recv *ast.FieldList, ft *ast.FuncType) {
+	for _, fl := range []*ast.FieldList{recv, ft.Params, ft.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v := r.obj(name); v != nil {
+					r.param[v] = true
+				}
+			}
+		}
+	}
+}
+
+// indexForLoop recognizes `for i := C0; i <|<=|> |>= C1; i++/i--` with
+// constant bounds: i then takes at most |C1-C0|+1 values, a closed set.
+func (r *resolver) indexForLoop(fs *ast.ForStmt) {
+	init, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return
+	}
+	v := r.obj(init.Lhs[0])
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if v == nil || !ok {
+		return
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	if !r.isConst(init.Rhs[0]) || r.obj(cond.X) != v || !r.isConst(cond.Y) {
+		return
+	}
+	if !r.reassignedOnlyByIncDec(fs, v) {
+		return
+	}
+	r.loopVar[v] = true
+}
+
+// reassignedOnlyByIncDec rejects loop bodies that re-assign the index to
+// something non-constant (which would unbound it).
+func (r *resolver) reassignedOnlyByIncDec(fs *ast.ForStmt, v *types.Var) bool {
+	ok := true
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if as, isAssign := n.(*ast.AssignStmt); isAssign {
+			for _, lhs := range as.Lhs {
+				if r.obj(lhs) == v {
+					ok = false
+				}
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+func (r *resolver) isConst(e ast.Expr) bool {
+	tv, ok := r.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+const maxDepth = 10
+
+// bounded is the core judgment: can e only ever evaluate to a member of a
+// closed, compile-time-visible set?
+func (r *resolver) bounded(e ast.Expr, depth int) bool {
+	if depth > maxDepth {
+		return false
+	}
+	e = ast.Unparen(e)
+	if r.isConst(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return r.boundedVar(e, depth)
+	case *ast.SelectorExpr:
+		return r.boundedField(e, depth)
+	case *ast.CallExpr:
+		return r.boundedCall(e, depth)
+	case *ast.BinaryExpr:
+		return e.Op == token.ADD && r.bounded(e.X, depth+1) && r.bounded(e.Y, depth+1)
+	}
+	return false
+}
+
+// boundedVar decides an identifier: loop index, range binding, or a
+// variable whose every assignment source is bounded.
+func (r *resolver) boundedVar(id *ast.Ident, depth int) bool {
+	v := r.obj(id)
+	if v == nil || r.multi[v] || r.param[v] {
+		return false
+	}
+	if r.loopVar[v] {
+		return true
+	}
+	if rb, ok := r.rangeOf[v]; ok {
+		return r.boundedCollection(rb.stmt.X, rb.isKey, depth+1)
+	}
+	srcs := r.sources[v]
+	if len(srcs) == 0 {
+		return false // parameter, field, or otherwise unbound
+	}
+	for _, src := range srcs {
+		if !r.bounded(src, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// boundedField handles `rv.Field` where rv ranges over a composite
+// literal of struct literals: the label is bounded when that field is
+// constant in every element.
+func (r *resolver) boundedField(sel *ast.SelectorExpr, depth int) bool {
+	v := r.obj(sel.X)
+	if v == nil {
+		return false
+	}
+	rb, ok := r.rangeOf[v]
+	if !ok || rb.isKey {
+		return false
+	}
+	lit := r.compositeLit(rb.stmt.X, depth)
+	if lit == nil {
+		return false
+	}
+	st, ok := r.pass.TypesInfo.TypeOf(sel.X).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	fieldIdx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == sel.Sel.Name {
+			fieldIdx = i
+			break
+		}
+	}
+	if fieldIdx < 0 {
+		return false
+	}
+	for _, elt := range lit.Elts {
+		el, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		if !r.isConst(structFieldValue(el, st.Field(fieldIdx).Name(), fieldIdx)) {
+			return false
+		}
+	}
+	return len(lit.Elts) > 0
+}
+
+// structFieldValue extracts a struct literal's field by name (keyed form)
+// or position, returning nil when absent.
+func structFieldValue(lit *ast.CompositeLit, name string, idx int) ast.Expr {
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+				return kv.Value
+			}
+		}
+	}
+	if idx < len(lit.Elts) {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			return lit.Elts[idx]
+		}
+	}
+	return nil
+}
+
+// boundedCall accepts strconv.Itoa/FormatInt of bounded ints and String()
+// of a bounded receiver.
+func (r *resolver) boundedCall(call *ast.CallExpr, depth int) bool {
+	fn := analysis.CalleeFunc(r.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.FullName() {
+	case "strconv.Itoa", "strconv.FormatInt", "strconv.FormatUint":
+		return len(call.Args) >= 1 && r.bounded(call.Args[0], depth+1)
+	}
+	if fn.Name() == "String" && len(call.Args) == 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return r.bounded(sel.X, depth+1)
+		}
+	}
+	return false
+}
+
+// compositeLit resolves e (directly, or through a single-source variable)
+// to a composite literal.
+func (r *resolver) compositeLit(e ast.Expr, depth int) *ast.CompositeLit {
+	if depth > maxDepth {
+		return nil
+	}
+	e = ast.Unparen(e)
+	if lit, ok := e.(*ast.CompositeLit); ok {
+		return lit
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		v := r.obj(id)
+		if v == nil || r.multi[v] || r.rangeOf[v] != nil {
+			return nil
+		}
+		if srcs := r.sources[v]; len(srcs) == 1 {
+			return r.compositeLit(srcs[0], depth+1)
+		}
+	}
+	return nil
+}
+
+// boundedCollection judges a range expression: are the values the range
+// binds (keys for isKey, element values otherwise) a closed set?
+func (r *resolver) boundedCollection(e ast.Expr, isKey bool, depth int) bool {
+	if depth > maxDepth {
+		return false
+	}
+	lit := r.compositeLit(e, depth)
+	if lit == nil {
+		return false
+	}
+	tv, ok := r.pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				return false
+			}
+			if isKey && !r.isConst(kv.Key) {
+				return false
+			}
+			if !isKey && !r.boundedElement(kv.Value, depth) {
+				return false
+			}
+		}
+		return len(lit.Elts) > 0
+	case *types.Slice, *types.Array:
+		if isKey {
+			// The index of a literal collection is a closed set of ints.
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if !r.boundedElement(elt, depth) {
+				return false
+			}
+		}
+		return len(lit.Elts) > 0
+	}
+	return false
+}
+
+// boundedElement treats nested composite literals (struct elements whose
+// fields are judged at the selector) as bounded containers; anything else
+// must itself be bounded.
+func (r *resolver) boundedElement(e ast.Expr, depth int) bool {
+	if _, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		return true
+	}
+	return r.bounded(e, depth+1)
+}

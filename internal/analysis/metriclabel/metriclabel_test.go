@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"otfair/internal/analysis/checktest"
+	"otfair/internal/analysis/metriclabel"
+)
+
+func TestLabels(t *testing.T) {
+	checktest.Run(t, metriclabel.Analyzer, "testdata/labels", "example.com/fixture")
+}

@@ -1,0 +1,257 @@
+// Package naninput locks in the NaN-hole fixes of the options layer: an
+// exported Options/Config struct with scalar float fields must reject
+// NaN/Inf in its validate/WithDefaults path.
+//
+// The options convention throughout the solvers is `<= 0 means default`,
+// and NaN compares false against every threshold — so an unchecked NaN
+// epsilon survives defaulting, poisons a Gibbs kernel, and surfaces as a
+// silently wrong plan rather than an error. PR 5 closed those holes for
+// the joint and ot options by hand; this analyzer makes the pattern a
+// compile-time obligation in the determinism-critical packages and the
+// drift loop: every scalar float field of an exported *Options/*Config
+// struct must appear under a math.IsNaN/math.IsInf check (directly, via a
+// locally assigned alias, or through a package-local helper that performs
+// the check) reachable from a method named WithDefaults/withDefaults/
+// Validate/validate/Check/check. Fields that are outputs or cosmetic
+// knobs carry //otfair:naninput-ok with the reason.
+package naninput
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"otfair/internal/analysis"
+)
+
+// Analyzer is the naninput invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "naninput",
+	Doc:       "exported Options/Config structs with float fields must NaN/Inf-check them in their validate/WithDefaults path",
+	Directive: analysis.DirNaNInputOK,
+	Run:       run,
+}
+
+// validateNames are the method names that constitute a struct's validate
+// path.
+var validateNames = map[string]bool{
+	"WithDefaults": true, "withDefaults": true,
+	"Validate": true, "validate": true,
+	"Check": true, "check": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.NaNInputPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	checkers := nanCheckingFuncs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ast.IsExported(ts.Name.Name) {
+					continue
+				}
+				if !strings.HasSuffix(ts.Name.Name, "Options") && !strings.HasSuffix(ts.Name.Name, "Config") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStruct(pass, ts, st, checkers)
+			}
+		}
+	}
+	return nil
+}
+
+// floatFields returns the struct's exported scalar float fields.
+func floatFields(pass *analysis.Pass, st *ast.StructType) []*ast.Ident {
+	var out []*ast.Ident
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsFloat == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			if ast.IsExported(name.Name) {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType, checkers map[*types.Func]bool) {
+	fields := floatFields(pass, st)
+	if len(fields) == 0 {
+		return
+	}
+	typeObj := pass.TypesInfo.Defs[ts.Name]
+	methods := validateMethods(pass, typeObj)
+	if len(methods) == 0 {
+		pass.Reportf(ts.Name.Pos(),
+			"%s has scalar float fields but no WithDefaults/validate method; NaN/Inf input survives `<= 0 means default` comparisons and reaches the solvers unchecked",
+			ts.Name.Name)
+		return
+	}
+	checked := checkedFields(pass, methods, checkers)
+	for _, name := range fields {
+		if !checked[pass.TypesInfo.Defs[name]] {
+			pass.Reportf(name.Pos(),
+				"float field %s.%s is not NaN/Inf-checked in the validate path (%s); add a math.IsNaN/math.IsInf rejection or annotate //otfair:naninput-ok <reason>",
+				ts.Name.Name, name.Name, methodNames(methods))
+		}
+	}
+}
+
+// validateMethods returns the declared validate-path methods of the type.
+func validateMethods(pass *analysis.Pass, typeObj types.Object) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || !validateNames[fd.Name.Name] {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+			if !ok {
+				continue
+			}
+			named := analysis.ReceiverNamed(tv.Type)
+			if named != nil && named.Obj() == typeObj {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+func methodNames(methods []*ast.FuncDecl) string {
+	names := make([]string, len(methods))
+	for i, m := range methods {
+		names[i] = m.Name.Name
+	}
+	return strings.Join(names, "/")
+}
+
+// nanCheckingFuncs computes the package-local functions that (transitively,
+// up to depth 3) call math.IsNaN or math.IsInf, so helpers like
+// `finite(v)` count as checks at their call sites.
+func nanCheckingFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	checking := make(map[*types.Func]bool)
+	for range 3 {
+		for fn, fd := range decls {
+			if checking[fn] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil {
+					if isMathNaNInf(callee) || checking[callee] {
+						checking[fn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return checking
+}
+
+func isMathNaNInf(fn *types.Func) bool {
+	name := fn.FullName()
+	return name == "math.IsNaN" || name == "math.IsInf"
+}
+
+// checkedFields walks the validate methods and records which struct
+// fields appear as (possibly locally aliased) arguments of a NaN/Inf
+// check.
+func checkedFields(pass *analysis.Pass, methods []*ast.FuncDecl, checkers map[*types.Func]bool) map[types.Object]bool {
+	checked := make(map[types.Object]bool)
+	for _, fd := range methods {
+		// Local aliases: `v := o.Eps` and `for _, v := range []float64{o.A}`.
+		aliasSrc := make(map[*types.Var]ast.Expr)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+								aliasSrc[v] = n.Rhs[i]
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						aliasSrc[v] = n.X
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil || (!isMathNaNInf(callee) && !checkers[callee]) {
+				return true
+			}
+			for _, arg := range call.Args {
+				markFields(pass, arg, aliasSrc, checked, 0)
+			}
+			return true
+		})
+	}
+	return checked
+}
+
+// markFields records every struct-field selection mentioned in e (one
+// alias hop allowed) as checked.
+func markFields(pass *analysis.Pass, e ast.Expr, aliasSrc map[*types.Var]ast.Expr, checked map[types.Object]bool, depth int) {
+	if depth > 4 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				checked[sel.Obj()] = true
+			}
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok {
+				if src, ok := aliasSrc[v]; ok {
+					markFields(pass, src, aliasSrc, checked, depth+1)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package naninput_test
+
+import (
+	"testing"
+
+	"otfair/internal/analysis/checktest"
+	"otfair/internal/analysis/naninput"
+)
+
+func TestScopedPackage(t *testing.T) {
+	checktest.Run(t, naninput.Analyzer, "testdata/options", "otfair/internal/core")
+}
+
+func TestNeutralPackage(t *testing.T) {
+	checktest.Run(t, naninput.Analyzer, "testdata/neutral", "example.com/neutral")
+}

@@ -1,0 +1,11 @@
+// Fixture for naninput outside the scoped packages: unchecked float
+// options are someone else's problem there.
+package fixture
+
+type LooseOptions struct {
+	Eps float64
+}
+
+func (o *LooseOptions) validate() bool {
+	return o.Eps > 0
+}

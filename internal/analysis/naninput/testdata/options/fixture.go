@@ -1,0 +1,64 @@
+// Fixture for naninput, type-checked as a determinism-critical package.
+package fixture
+
+import "math"
+
+// GoodOptions checks every float field: directly, through a local alias,
+// and through a package-local helper.
+type GoodOptions struct {
+	Eps   float64
+	Tau   float64
+	Gamma float64
+	Name  string // non-float fields are out of scope
+	Iters int
+}
+
+func (o *GoodOptions) validate() bool {
+	if math.IsNaN(o.Eps) || math.IsInf(o.Eps, 0) {
+		return false
+	}
+	tau := o.Tau
+	if math.IsNaN(tau) {
+		return false
+	}
+	return finite(o.Gamma)
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// BadOptions checks one field and forgets the other.
+type BadOptions struct {
+	Checked   float64
+	Forgotten float64 // want "float field BadOptions.Forgotten is not NaN/Inf-checked in the validate path"
+}
+
+func (o *BadOptions) Validate() bool {
+	return !math.IsNaN(o.Checked)
+}
+
+// OrphanConfig has float fields but no validate path at all.
+type OrphanConfig struct { // want "OrphanConfig has scalar float fields but no WithDefaults/validate method"
+	Rate float64
+}
+
+// ReportOptions carries an output field excused by directive.
+type ReportOptions struct {
+	In float64
+	//otfair:naninput-ok diagnostic output score, written by the solver and never read as input
+	Score float64
+}
+
+func (o *ReportOptions) check() bool {
+	return !math.IsNaN(o.In)
+}
+
+// unexportedOptions and non-Options-suffixed types are out of scope.
+type unexportedOptions struct {
+	X float64
+}
+
+type Knobs struct {
+	Y float64
+}

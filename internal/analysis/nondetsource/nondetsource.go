@@ -1,0 +1,82 @@
+// Package nondetsource bans ambient nondeterminism sources — wall-clock
+// reads, global randomness, process identity, scheduler-dependent selects
+// — inside determinism-critical packages.
+//
+// The only sanctioned randomness on a repair path is internal/rng (seeded
+// splitmix64, split per shard), which is what makes workers=N output
+// byte-identical to workers=1. time.Now on an ops/observability path
+// (latency histograms, TTL pruning, quarantine timestamps) is legitimate
+// and carries a //otfair:nondet-ok directive explaining that the value
+// never reaches a served byte.
+package nondetsource
+
+import (
+	"go/ast"
+
+	"otfair/internal/analysis"
+)
+
+// Analyzer is the nondetsource invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "nondetsource",
+	Doc:       "ban time.Now/math/rand/os.Getpid/select-default in determinism-critical packages (rng.Split is the only sanctioned randomness)",
+	Directive: analysis.DirNondetOK,
+	Run:       run,
+}
+
+// bannedCalls maps the fully qualified functions whose results vary run to
+// run to a short description used in the diagnostic.
+var bannedCalls = map[string]string{
+	"time.Now":   "wall-clock read",
+	"time.Since": "wall-clock read",
+	"time.Until": "wall-clock read",
+	"os.Getpid":  "process identity",
+	"os.Getppid": "process identity",
+}
+
+// bannedImports are packages whose presence alone signals unseeded global
+// randomness on a deterministic path.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterminismCritical[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value
+			if bannedImports[path[1:len(path)-1]] {
+				pass.Reportf(imp.Pos(),
+					"import %s in determinism-critical package %s: use otfair/internal/rng (seeded, splittable) instead",
+					path, pass.Pkg.Path())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := analysis.CalleeFunc(pass.TypesInfo, n)
+				if fn == nil {
+					return true
+				}
+				if what, ok := bannedCalls[fn.FullName()]; ok {
+					pass.Reportf(n.Pos(),
+						"%s (%s) in determinism-critical package %s; route timing through an injected hook or annotate //otfair:nondet-ok <reason> for scrape-time/ops code",
+						fn.FullName(), what, pass.Pkg.Path())
+				}
+			case *ast.SelectStmt:
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						pass.Reportf(cc.Pos(),
+							"select with a default case makes control flow scheduler-dependent in determinism-critical package %s; annotate //otfair:nondet-ok <reason> if the branch cannot affect output",
+							pass.Pkg.Path())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package nondetsource_test
+
+import (
+	"testing"
+
+	"otfair/internal/analysis/checktest"
+	"otfair/internal/analysis/nondetsource"
+)
+
+func TestCriticalPackage(t *testing.T) {
+	checktest.Run(t, nondetsource.Analyzer, "testdata/critical", "otfair/internal/ot")
+}
+
+func TestNeutralPackage(t *testing.T) {
+	checktest.Run(t, nondetsource.Analyzer, "testdata/neutral", "example.com/neutral")
+}

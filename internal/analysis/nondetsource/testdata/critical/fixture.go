@@ -1,0 +1,62 @@
+// Fixture for nondetsource, type-checked as a determinism-critical
+// package.
+package fixture
+
+import (
+	mrand "math/rand" // want "import \"math/rand\" in determinism-critical package"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now \(wall-clock read\)"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since \(wall-clock read\)"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until \(wall-clock read\)"
+}
+
+func pid() int {
+	return os.Getpid() // want "os.Getpid \(process identity\)"
+}
+
+func globalRand() int {
+	return mrand.Int()
+}
+
+func opportunistic(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default: // want "select with a default case makes control flow scheduler-dependent"
+		return 0
+	}
+}
+
+// blockingSelect has no default clause: scheduler picks among ready
+// channels only when both are ready, which the serving paths already
+// serialize; no finding.
+func blockingSelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// durationArithmetic uses the time package without reading the clock.
+func durationArithmetic(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// suppressed documents a scrape-time read that never reaches a served
+// byte.
+func suppressed() time.Time {
+	//otfair:nondet-ok scrape-time timestamp for ops logging, never serialized into a plan
+	return time.Now()
+}

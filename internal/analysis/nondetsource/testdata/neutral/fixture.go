@@ -1,0 +1,18 @@
+// Fixture for nondetsource under a non-critical package path: ambient
+// time reads are fine outside the determinism-critical set.
+package fixture
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func opportunistic(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"otfair/internal/dataset"
 	"otfair/internal/fairmetrics"
@@ -38,7 +39,9 @@ func (o AutoTuneOptions) withDefaults() AutoTuneOptions {
 	if len(o.Candidates) == 0 {
 		o.Candidates = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	}
-	if o.RelTol <= 0 {
+	// NaN slips through a bare `<= 0` test and would make the convergence
+	// comparison below always false, walking the whole ladder for nothing.
+	if math.IsNaN(o.RelTol) || math.IsInf(o.RelTol, 0) || o.RelTol <= 0 {
 		o.RelTol = 0.10
 	}
 	if o.Repeats <= 0 {

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"otfair/internal/kde"
 )
@@ -189,16 +190,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// validate checks option ranges after defaulting.
+// validate checks option ranges after defaulting. Every float range test
+// below is NaN-blind on its own (NaN compares false against any
+// threshold), so non-finite values are rejected explicitly first.
 func (o Options) validate() error {
 	if o.NQ < 2 {
 		return fmt.Errorf("core: NQ must be at least 2, got %d", o.NQ)
 	}
-	if o.T <= 0 || o.T >= 1 {
+	if math.IsNaN(o.T) || math.IsInf(o.T, 0) || o.T <= 0 || o.T >= 1 {
 		return fmt.Errorf("core: geodesic parameter T = %v outside (0,1)", o.T)
 	}
-	if o.Amount < 0 || o.Amount > 1 {
+	if math.IsNaN(o.Amount) || math.IsInf(o.Amount, 0) || o.Amount < 0 || o.Amount > 1 {
 		return fmt.Errorf("core: repair amount %v outside [0,1]", o.Amount)
+	}
+	if math.IsNaN(o.SinkhornEpsilon) || math.IsInf(o.SinkhornEpsilon, 0) || o.SinkhornEpsilon < 0 {
+		return fmt.Errorf("core: SinkhornEpsilon = %v is not a finite non-negative value", o.SinkhornEpsilon)
 	}
 	if o.Solver < SolverMonotone || o.Solver > SolverSinkhorn {
 		return errors.New("core: unknown solver")

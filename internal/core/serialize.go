@@ -72,6 +72,7 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 		},
 		GroupSizes: make(map[string]int, len(p.GroupSizes)),
 	}
+	//otfair:nondet-ok map-to-map copy; encoding/json marshals map keys sorted
 	for g, n := range p.GroupSizes {
 		out.GroupSizes[groupKey(g)] = n
 	}

@@ -146,10 +146,17 @@ func (c Config) withDefaults() Config {
 	if c.ReservoirSize == 0 {
 		c.ReservoirSize = 512
 	}
-	if c.MaxDamageRise == 0 {
+	// A NaN bound would compare false against every canary rise and accept
+	// every refit (and a NaN ConfidenceAlarm would poison the exported
+	// drift/ConfidenceAlarm ratio), so non-finite thresholds fall back to
+	// the defaults like unset ones do.
+	if math.IsNaN(c.MaxERise) || math.IsInf(c.MaxERise, 0) {
+		c.MaxERise = 0
+	}
+	if math.IsNaN(c.MaxDamageRise) || math.IsInf(c.MaxDamageRise, 0) || c.MaxDamageRise == 0 {
 		c.MaxDamageRise = 0.25
 	}
-	if c.ConfidenceAlarm == 0 {
+	if math.IsNaN(c.ConfidenceAlarm) || math.IsInf(c.ConfidenceAlarm, 0) || c.ConfidenceAlarm == 0 {
 		c.ConfidenceAlarm = 0.15
 	}
 	if c.Seed == 0 {
@@ -204,6 +211,7 @@ func New(artefact string, cfg Config, reg *obs.Registry) *Watcher {
 	}
 	reg.GaugeFunc("otfair_drift_state",
 		"Drift state machine position per artefact (0=ok 1=warning 2=alarmed 3=recalibrating 4=canarying 5=swapped 6=rolled_back).",
+		//otfair:cardinality-ok artefact values are bound-plan fingerprints, capped by the store's bind capacity
 		func() float64 { return float64(w.State()) }, "artefact", artefact)
 	for stat, v := range map[string]*atomic.Uint64{
 		"ks": &w.ksScore, "psi": &w.psiScore, "confidence": &w.confScore,
@@ -212,12 +220,14 @@ func New(artefact string, cfg Config, reg *obs.Registry) *Watcher {
 		reg.GaugeFunc("otfair_drift_score",
 			"Continuous drift score per artefact and statistic; >= 1 means past the alarm bound.",
 			func() float64 { return math.Float64frombits(v.Load()) },
+			//otfair:cardinality-ok artefact values are bound-plan fingerprints, capped by the store's bind capacity
 			"artefact", artefact, "stat", stat)
 	}
 	w.trans = make(map[State]*obs.Counter, len(states))
 	for _, st := range states {
 		w.trans[st] = reg.CounterL("otfair_drift_transitions_total",
 			"Drift state machine transitions per artefact and destination state.",
+			//otfair:cardinality-ok artefact values are bound-plan fingerprints, capped by the store's bind capacity
 			"artefact", artefact, "to", st.String())
 	}
 	w.recals = make(map[string]*obs.Counter, len(outcomes))

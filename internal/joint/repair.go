@@ -38,6 +38,11 @@ type Repairer struct {
 	// the same RNG stream.
 	alias      map[aliasKey]*rowSampler
 	aliasAtoms int
+	// aliasBudget is aliasAtomBudget in production; tests shrink it to
+	// force eviction on small plans.
+	aliasBudget int
+	// onEvict, when set (tests only), observes each eviction in order.
+	onEvict func(aliasKey)
 }
 
 // aliasAtomBudget bounds the alias cache at ~4M cached atoms (≈128 MB of
@@ -53,6 +58,9 @@ type aliasKey struct {
 type rowSampler struct {
 	targets []int
 	table   *rng.Alias
+	// hits counts cache lookups that found this sampler; eviction sheds
+	// the coldest samplers first.
+	hits uint64
 }
 
 // NewRepairer binds a joint plan to a randomness source.
@@ -63,7 +71,7 @@ func NewRepairer(plan *Plan, r *rng.RNG) (*Repairer, error) {
 	if r == nil {
 		return nil, errors.New("joint: nil rng")
 	}
-	return &Repairer{plan: plan, rng: r, alias: make(map[aliasKey]*rowSampler)}, nil
+	return &Repairer{plan: plan, rng: r, alias: make(map[aliasKey]*rowSampler), aliasBudget: aliasAtomBudget}, nil
 }
 
 // Diagnostics returns the counters accumulated so far.
@@ -144,23 +152,58 @@ func (rp *Repairer) drawTarget(cell *Cell, u, s, row int) int {
 			panic("joint: plan has no mass in any row")
 		}
 		sampler = &rowSampler{targets: targets, table: rng.NewAlias(probs)}
-		if rp.aliasAtoms+len(targets) > aliasAtomBudget {
-			// Shed an arbitrary quarter of the cached atoms (map order);
-			// rebuilt samplers are identical, so eviction cannot change a
-			// single output draw.
-			shed := aliasAtomBudget / 4
-			for k, cached := range rp.alias {
-				rp.aliasAtoms -= len(cached.targets)
-				delete(rp.alias, k)
-				if shed -= len(cached.targets); shed <= 0 {
-					break
-				}
-			}
+		if rp.aliasAtoms+len(targets) > rp.aliasBudget {
+			rp.evictAliases()
 		}
 		rp.alias[key] = sampler
 		rp.aliasAtoms += len(targets)
 	}
+	sampler.hits++
 	return sampler.targets[sampler.table.Draw(rp.rng)]
+}
+
+// evictAliases sheds about a quarter of the budget, coldest samplers
+// first with key order breaking ties — the victim set is a pure function
+// of the access history, never of map iteration order. Rebuilt samplers
+// are identical and the draw consumes the same RNG stream, so eviction
+// cannot change a single output draw either way; determinism here keeps
+// the cache's *working set* (and therefore rebuild cost and memory
+// profile) reproducible across runs of the same torrent.
+func (rp *Repairer) evictAliases() {
+	type candidate struct {
+		key   aliasKey
+		atoms int
+		hits  uint64
+	}
+	cands := make([]candidate, 0, len(rp.alias))
+	//otfair:nondet-ok candidates are fully sorted below; map order is erased
+	for k, cached := range rp.alias {
+		cands = append(cands, candidate{key: k, atoms: len(cached.targets), hits: cached.hits})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.hits != b.hits {
+			return a.hits < b.hits
+		}
+		if a.key.u != b.key.u {
+			return a.key.u < b.key.u
+		}
+		if a.key.s != b.key.s {
+			return a.key.s < b.key.s
+		}
+		return a.key.row < b.key.row
+	})
+	shed := rp.aliasBudget / 4
+	for _, c := range cands {
+		rp.aliasAtoms -= c.atoms
+		delete(rp.alias, c.key)
+		if rp.onEvict != nil {
+			rp.onEvict(c.key)
+		}
+		if shed -= c.atoms; shed <= 0 {
+			return
+		}
+	}
 }
 
 // nearestMassiveRow returns row if it has mass, otherwise the row whose

@@ -18,6 +18,7 @@ import (
 // recorder whose Flush folds a whole shard's observations into the shared
 // histogram with one atomic add per nonzero bucket — the "mergeable
 // per-shard shards" that keep recording off the atomic bus entirely.
+//otfair:nilsafe nil histogram is the uninstrumented no-op on the record hot path
 type Histogram struct {
 	bounds  []float64 // sorted, strictly increasing upper bounds
 	counts  []atomic.Uint64
@@ -47,6 +48,7 @@ func (h *Histogram) bucketIndex(v float64) int {
 	// inclusive-upper-bound rule; the only disagreement is v exactly equal
 	// to a bound, where >= and <= agree anyway. Binary search is
 	// allocation-free and beats a linear scan on the ~20-bucket layouts.
+	//otfair:nilrecv-ok only reachable through Observe, after its nil guard
 	return sort.SearchFloat64s(h.bounds, v)
 }
 
@@ -70,6 +72,7 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 // some thread always makes progress).
 func (h *Histogram) addSum(v float64) {
 	for {
+		//otfair:nilrecv-ok only reachable through Observe, after its nil guard
 		old := h.sumBits.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, nw) {
@@ -159,6 +162,7 @@ func (s Snapshot) Quantile(q float64) float64 {
 // the shared atomics. Flush folds the batch into the shared histogram —
 // one atomic add per nonzero bucket plus two for count and sum — and
 // resets the recorder for reuse. A nil *Local is the uninstrumented no-op.
+//otfair:nilsafe nil local follows its nil parent histogram through uninstrumented runs
 type Local struct {
 	h      *Histogram
 	counts []uint64

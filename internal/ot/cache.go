@@ -100,6 +100,7 @@ func TrimCapped[K comparable, V any](m map[K]V, capN int) {
 		return
 	}
 	drop := capN / 4
+	//otfair:nondet-ok pure content-hash cache: a rebuilt entry is identical, so the victim choice cannot reach any output
 	for k := range m {
 		delete(m, k)
 		if drop--; drop <= 0 {

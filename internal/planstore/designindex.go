@@ -157,6 +157,7 @@ func (ix *DesignIndex) Prune(maxAge time.Duration) (removed int, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("planstore: listing %s: %w", ix.dir, err)
 	}
+	//otfair:nondet-ok prune cutoff for ops retention; stored index bytes are content-addressed and unaffected
 	cutoff := time.Now().Add(-maxAge)
 	for _, e := range entries {
 		if e.IsDir() {

@@ -63,8 +63,12 @@ func (s *Server) blindState(planID, calID string) (*planState, *blindsvc.Engine,
 			var coldID string
 			var coldUsed uint64
 			first := true
+			// Full-scan min with a total tie-break (lastUsed, then ID), so
+			// the victim is a pure function of the cache contents.
+			//otfair:nondet-ok order-independent min: tie on lastUsed breaks on calibration ID
 			for cid, entry := range ps.blind {
-				if cid != calID && (first || entry.lastUsed < coldUsed) {
+				if cid != calID && (first || entry.lastUsed < coldUsed ||
+					(entry.lastUsed == coldUsed && cid < coldID)) {
 					coldID, coldUsed, first = cid, entry.lastUsed, false
 				}
 			}
@@ -178,11 +182,13 @@ func (s *Server) handleCalibrationGet(w http.ResponseWriter, r *http.Request) {
 func blindMetrics(ps *planState) map[string]any {
 	ps.mu.Lock()
 	engines := make(map[string]*blindsvc.Engine, len(ps.blind))
+	//otfair:nondet-ok map-to-map copy; key set is order-free and JSON marshaling sorts keys
 	for id, entry := range ps.blind {
 		engines[id] = entry.engine
 	}
 	ps.mu.Unlock()
 	out := make(map[string]any, len(engines))
+	//otfair:nondet-ok map-to-map copy; the response map is serialized with sorted keys
 	for id, eng := range engines {
 		totals := eng.Totals()
 		cal := eng.Calibration()

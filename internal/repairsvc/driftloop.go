@@ -21,8 +21,10 @@ package repairsvc
 
 import (
 	"log/slog"
+	"maps"
 	"math"
 	"os"
+	"slices"
 
 	"otfair/internal/blind"
 	"otfair/internal/core"
@@ -41,7 +43,10 @@ func (s *Server) driftCheck(ps *planState) {
 	ps.mu.Lock()
 	snap := ps.mon.Snapshot()
 	worst, haveConf := 0.0, false
-	for _, entry := range ps.blind {
+	// Tied |drift| magnitudes of opposite sign would make `worst` depend on
+	// map order; walking calibrations in sorted ID order pins the fold.
+	for _, cid := range slices.Sorted(maps.Keys(ps.blind)) {
+		entry := ps.blind[cid]
 		t := entry.engine.Totals()
 		if t.Imputed == 0 {
 			continue
@@ -155,10 +160,9 @@ func (s *Server) runDriftLoop(ps *planState, runID string) {
 // plan swap.
 func (s *Server) recalibrateBlind(ps *planState, newPlan *core.Plan, research *dataset.Table, logger *slog.Logger) {
 	ps.mu.Lock()
-	calIDs := make([]string, 0, len(ps.blind))
-	for cid := range ps.blind {
-		calIDs = append(calIDs, cid)
-	}
+	// Repoint lineages in sorted order so refit logs and error attribution
+	// are reproducible across runs.
+	calIDs := slices.Sorted(maps.Keys(ps.blind))
 	ps.mu.Unlock()
 	if len(calIDs) == 0 {
 		return

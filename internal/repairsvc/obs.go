@@ -120,6 +120,7 @@ func newServerObs(s *Server) *serverObs {
 	for i, name := range obs.StageNames() {
 		om.stageSeconds[i] = reg.HistogramL("otfair_repair_stage_seconds",
 			"Repair request time by stage (decode/encode only on trace-sampled requests).",
+			//otfair:cardinality-ok StageNames is obs's fixed compile-time stage list
 			lat, "stage", name)
 	}
 	om.recordsTotal = reg.Counter("otfair_repair_records_total",
@@ -193,6 +194,7 @@ func newServerObs(s *Server) *serverObs {
 				if err != nil || mt.IsZero() {
 					return math.NaN()
 				}
+				//otfair:nondet-ok scrape-time age gauge; never reaches a served repair byte
 				return time.Since(mt).Seconds()
 			}, "kind", ns.kind)
 	}
@@ -265,6 +267,7 @@ func newServerObs(s *Server) *serverObs {
 	version, goVersion, revision := buildInfo()
 	reg.GaugeFunc("otfair_build_info", "Build metadata; value is always 1.",
 		func() float64 { return 1 },
+		//otfair:cardinality-ok build identity is constant for the process lifetime: one series per binary
 		"version", version, "go", goVersion, "revision", revision)
 
 	return om
@@ -287,6 +290,7 @@ func (s *Server) blindAggregate() blindAgg {
 	var a blindAgg
 	s.mu.Lock()
 	states := make([]*planState, 0, len(s.states))
+	//otfair:nondet-ok scrape-time commutative fold: every state's counters are summed
 	for _, ps := range s.states {
 		states = append(states, ps)
 	}
@@ -294,6 +298,7 @@ func (s *Server) blindAggregate() blindAgg {
 	for _, ps := range states {
 		ps.mu.Lock()
 		engines := make([]*blindsvc.Engine, 0, len(ps.blind))
+		//otfair:nondet-ok scrape-time commutative fold: every engine's counters are summed
 		for _, entry := range ps.blind {
 			engines = append(engines, entry.engine)
 		}
@@ -340,6 +345,7 @@ func (om *serverObs) requestDone(route string, code int, d time.Duration, aborte
 	}
 	om.routeSeconds[route].ObserveDuration(d)
 	om.reg.CounterL("otfair_http_requests_total", "HTTP requests by route and status code.",
+		//otfair:cardinality-ok route comes from routeLabel's fixed set and code from the server's chosen statuses
 		"route", route, "code", strconv.Itoa(code)).Inc()
 	if aborted {
 		om.aborted.Inc()

@@ -162,7 +162,7 @@ func (e *ShardPanicError) Error() string {
 func callShard(o *Obs, chunk uint64, stream bool, w, lo, hi int, f func() error) (err error) {
 	var start time.Time
 	if o != nil {
-		start = time.Now()
+		start = time.Now() //otfair:nondet-ok shard wall-time instrumentation; outputs are merged by index, not by time
 	}
 	defer func() {
 		v := recover()
@@ -170,6 +170,7 @@ func callShard(o *Obs, chunk uint64, stream bool, w, lo, hi int, f func() error)
 			err = &ShardPanicError{Chunk: chunk, Stream: stream, Shard: w, Lo: lo, Hi: hi, Value: v, Stack: debug.Stack()}
 		}
 		if o != nil {
+			//otfair:nondet-ok shard wall-time instrumentation; outputs are merged by index, not by time
 			o.shardDone(time.Since(start), v != nil)
 		}
 	}()
