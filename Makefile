@@ -22,7 +22,7 @@ JOINT = BenchmarkJointDesign$$|BenchmarkJointDesignDense$$|BenchmarkJointRepair$
 BASELINE ?=
 BASEFLAG = $(if $(BASELINE),-baseline $(BASELINE),)
 
-.PHONY: build verify verify-ci test vet lint race soak drift-scenario bench bench-micro serve-smoke
+.PHONY: build verify verify-ci test vet lint race soak drift-scenario feed-scenario bench bench-micro serve-smoke
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,19 @@ soak:
 drift-scenario:
 	$(GO) test -race -count=1 -run 'TestDrift' -v ./internal/repairsvc/
 	$(GO) test -race -count=1 -v ./internal/driftwatch/
+
+# The research-feed outage scenario, under the race detector: an upstream
+# that 500s must degrade every refit to refit_failed and open the breaker
+# on its deterministic seeded backoff; on recovery the single half-open
+# probe closes it and the queued swap lands; an unchanged set (ETag 304 /
+# matching fingerprint) then skips as refit_skipped_stale — with every
+# 2xx byte-identical to a loop-disabled server and zero goroutine growth.
+# Also runs the staging-endpoint auth matrix, the CAS-retry race test and
+# the researchfeed unit suite (retry schedule, breaker lifecycle, sources,
+# fault points, validation).
+feed-scenario:
+	$(GO) test -race -count=1 -run 'TestFeed|TestDriftRefitFromStagedSource|TestResearchStaging|TestCASRefRetry' -v ./internal/repairsvc/
+	$(GO) test -race -count=1 -v ./internal/researchfeed/
 
 # The artefact benches run whole-experiment iterations (~0.5 s/op), so two
 # are enough; the throughput benches are ~10 ms/op and need more iterations

@@ -60,6 +60,7 @@ import (
 	"otfair/internal/driftwatch"
 	"otfair/internal/planstore"
 	"otfair/internal/repairsvc"
+	"otfair/internal/researchfeed"
 )
 
 func main() {
@@ -89,6 +90,18 @@ func main() {
 	canaryReservoir := flag.Int("canary-reservoir", 0, "labelled records reservoir-sampled for the canary shadow comparison (0 = default 512)")
 	canaryMaxERise := flag.Float64("canary-max-e-rise", 0, "largest fairness (E) regression the canary accepts before rolling back (default 0: the refit must not be less fair)")
 	canaryMaxDamageRise := flag.Float64("canary-max-damage-rise", 0, "largest per-record damage increase the canary accepts before rolling back (0 = default 0.25)")
+	driftCheckEvery := flag.Duration("drift-check-every", 0, "timer-driven drift check cadence so idle-but-drifted plans still recalibrate (0 = checks only ride repair traffic)")
+	recalibrateURL := flag.String("recalibrate-url", "", "HTTP research feed the drift loop refits from (ETag change detection, per-attempt timeouts; takes precedence over -recalibrate-from)")
+	researchToken := flag.String("research-token", "", "bearer token enabling the authenticated POST /v1/research staging endpoint; with no URL or file feed configured, staged sets become the refit source")
+	feedMinRecords := flag.Int("feed-min-records", 0, "minimum records a fetched research set needs before it may refit a plan (0 = default 16, negative = no floor)")
+	feedRetries := flag.Int("feed-retries", 0, "fetch attempts per refit before the feed counts as down (0 = default 3)")
+	feedBackoff := flag.Duration("feed-backoff", 0, "base retry backoff, doubled per retry with deterministic seeded jitter (0 = default 200ms)")
+	feedBackoffMax := flag.Duration("feed-backoff-max", 0, "retry backoff cap (0 = default 30s)")
+	feedBreakerAfter := flag.Int("feed-breaker-after", 0, "consecutive failed fetch cycles before the feed circuit breaker opens (0 = default 3)")
+	feedBreakerOpen := flag.Duration("feed-breaker-open", 0, "how long an open feed breaker refuses fetches before a half-open probe (0 = default 30s)")
+	feedTimeout := flag.Duration("feed-timeout", 0, "per-attempt HTTP feed timeout (0 = default 10s)")
+	refitWorkers := flag.Int("refit-workers", 0, "shared refit worker budget across all plan lineages (0 = default 1)")
+	refitQueue := flag.Int("refit-queue", 0, "bounded refit queue depth; an alarm past it lands refit_failed (0 = default 4)")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	flag.Parse()
 
@@ -131,6 +144,10 @@ func main() {
 		TraceSample:          *traceSample,
 		Logger:               base,
 	}
+	// Staging is independent of the drift loop: a deployment may accept
+	// research sets now and arm -drift-watch later against the same store.
+	serverOpts.ResearchToken = *researchToken
+	serverOpts.FeedMinRecords = *feedMinRecords
 	if *driftWatch {
 		serverOpts.DriftWatch = &driftwatch.Config{
 			AlarmAfter:    *driftAlarmAfter,
@@ -140,6 +157,20 @@ func main() {
 			MaxDamageRise: *canaryMaxDamageRise,
 		}
 		serverOpts.RecalibrateFrom = *recalibrateFrom
+		serverOpts.RecalibrateURL = *recalibrateURL
+		serverOpts.DriftCheckEvery = *driftCheckEvery
+		serverOpts.FeedRetry = researchfeed.RetryPolicy{
+			Attempts: *feedRetries,
+			Base:     *feedBackoff,
+			Max:      *feedBackoffMax,
+		}
+		serverOpts.FeedBreaker = researchfeed.BreakerConfig{
+			Threshold: *feedBreakerAfter,
+			OpenFor:   *feedBreakerOpen,
+		}
+		serverOpts.FeedAttemptTimeout = *feedTimeout
+		serverOpts.RefitWorkers = *refitWorkers
+		serverOpts.RefitQueue = *refitQueue
 	}
 	handler, err := repairsvc.NewServer(store, serverOpts)
 	if err != nil {
@@ -253,5 +284,9 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Warn("shutdown exiting with requests in flight", slog.Any("error", err))
 		}
+		// Stop the drift timer and refit workers after HTTP drains: an
+		// in-flight refit's fetch or backoff sleep aborts here rather
+		// than pinning the process.
+		handler.Close()
 	}
 }

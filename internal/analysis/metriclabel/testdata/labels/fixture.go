@@ -63,3 +63,22 @@ func register(reg *obs.Registry, userInput string, n int) {
 	//otfair:cardinality-ok status codes are a closed server-chosen set
 	reg.CounterL("c_ok", "h", "code", userInput)
 }
+
+// Feed-shaped registrations (researchfeed): the closed outcome and
+// breaker-state sets are bounded; a content fingerprint as a label value
+// is one series per distinct research set and must be flagged.
+var feedOutcomes = []string{"ok", "not_modified", "error", "breaker_open"}
+
+var breakerStates = map[string]string{
+	"closed": "0", "open": "1", "half_open": "2",
+}
+
+func registerFeed(reg *obs.Registry, fingerprint string) {
+	for _, o := range feedOutcomes {
+		reg.CounterL("f_fetches", "h", "outcome", o)
+	}
+	for name, code := range breakerStates {
+		reg.CounterL("f_breaker", "h", "state", name, "code", code)
+	}
+	reg.CounterL("f_by_content", "h", "fingerprint", fingerprint) // want "metric label value fingerprint is not statically bounded"
+}

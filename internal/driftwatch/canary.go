@@ -42,6 +42,14 @@ type CanaryStats struct {
 	Records int `json:"records"`
 }
 
+// Reservoir slices a split-canary verdict can fail on.
+const (
+	// SliceJudge is the half the canary primarily judges on.
+	SliceJudge = "judge"
+	// SliceHeldOut is the disjoint half a judge-pass must also survive.
+	SliceHeldOut = "held_out"
+)
+
 // Verdict is Judge's decision with the evidence attached.
 type Verdict struct {
 	// Pass reports whether the candidate may be swapped in.
@@ -49,6 +57,9 @@ type Verdict struct {
 	// Reason is the failure reason ("" on pass), one of the Reason
 	// constants.
 	Reason string `json:"reason,omitempty"`
+	// Slice names the reservoir half a JudgeSplit verdict failed on
+	// (SliceJudge or SliceHeldOut; "" on pass or plain Judge).
+	Slice string `json:"slice,omitempty"`
 	// Old and New are the incumbent's and candidate's measurements.
 	Old CanaryStats `json:"old"`
 	New CanaryStats `json:"new"`
@@ -80,5 +91,26 @@ func Judge(old, new CanaryStats, cfg Config) Verdict {
 		return v
 	}
 	v.Pass = true
+	return v
+}
+
+// JudgeSplit gates a candidate on two disjoint reservoir halves (see
+// Watcher.ReservoirSplit): the verdict must pass Judge on the judge half
+// AND on the held-out half. A refit that overfits the sample it is
+// judged on — better E on exactly those records, worse everywhere else —
+// passes a single-sample canary and regresses production; requiring the
+// held-out half catches it. The returned verdict carries the failing
+// half's stats and Slice name, or the judge half's stats on a full pass.
+func JudgeSplit(judgeOld, judgeNew, heldOld, heldNew CanaryStats, cfg Config) Verdict {
+	v := Judge(judgeOld, judgeNew, cfg)
+	if !v.Pass {
+		v.Slice = SliceJudge
+		return v
+	}
+	h := Judge(heldOld, heldNew, cfg)
+	if !h.Pass {
+		h.Slice = SliceHeldOut
+		return h
+	}
 	return v
 }

@@ -95,11 +95,18 @@ const (
 	// OutcomeRolledBack: canary rejected the refit; incumbent kept.
 	OutcomeRolledBack = "rolled_back"
 	// OutcomeRefitFailed: the refit itself failed (source unreadable,
-	// design error) before any canary ran; incumbent kept.
+	// feed down or invalid, design error) before any canary ran;
+	// incumbent kept.
 	OutcomeRefitFailed = "refit_failed"
+	// OutcomeRefitSkippedStale: the feed answered but its content
+	// fingerprint matches what the last completed loop already judged —
+	// refitting would reproduce the same candidate, so the loop declines
+	// and the quiet period absorbs the alarm.
+	OutcomeRefitSkippedStale = "refit_skipped_stale"
 )
 
-var outcomes = []string{OutcomeSwapped, OutcomeRolledBack, OutcomeRefitFailed}
+var outcomes = []string{OutcomeSwapped, OutcomeRolledBack, OutcomeRefitFailed,
+	OutcomeRefitSkippedStale}
 
 // Config tunes the state machine and the canary verdict.
 type Config struct {
@@ -301,6 +308,23 @@ func (w *Watcher) Observe(rec dataset.Record) {
 	}
 }
 
+// TickQuiet runs one timer-driven quiet-period step. Traffic drains the
+// post-loop quiet period through Observe; an idle artefact sees no
+// traffic, so the drift timer substitutes its ticks — without this, a
+// plan that drifted and then went quiet would stay disarmed forever and
+// never recalibrate again.
+func (w *Watcher) TickQuiet() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.quiet > 0 {
+		w.quiet--
+		if w.quiet == 0 {
+			w.hot = 0
+			w.transition(StateOK)
+		}
+	}
+}
+
 // SetScores records the monitor's current worst KS and PSI
 // statistic/threshold ratios and runs the arming logic.
 func (w *Watcher) SetScores(ks, psi float64) {
@@ -410,6 +434,27 @@ func (w *Watcher) ReservoirSample() []dataset.Record {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.res.records()
+}
+
+// ReservoirSplit partitions a copy of the canary reservoir into a judge
+// half and a held-out half: a Fisher–Yates shuffle driven by the
+// reservoir's own seeded RNG, then an even split (the judge half takes
+// the extra record on odd sizes). The two halves are disjoint uniform
+// subsamples, so a candidate that merely memorizes the judge half cannot
+// also pass on the held-out half. Deterministic given the traffic: the
+// reservoir RNG's state is a pure function of the seed and the offered
+// records, and the loop that calls this owns the reservoir until Finish
+// resets it.
+func (w *Watcher) ReservoirSplit() (judge, held []dataset.Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	recs := w.res.records()
+	for i := len(recs) - 1; i > 0; i-- {
+		j := w.res.r.IntN(i + 1)
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	half := (len(recs) + 1) / 2
+	return recs[:half], recs[half:]
 }
 
 // Logger returns the watcher's transition logger, pre-tagged with the

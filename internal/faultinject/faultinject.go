@@ -45,6 +45,18 @@ const (
 	// RecordPoison fails record validation mid-stream, exercising the
 	// serving layer's malformed-input path (repairsvc server).
 	RecordPoison = "record.poison"
+	// FeedFetch fails a research-feed fetch attempt before the source is
+	// consulted (researchfeed).
+	FeedFetch = "feed.fetch"
+	// FeedTimeout times out a research-feed fetch attempt, exercising
+	// the retry/backoff ladder (researchfeed).
+	FeedTimeout = "feed.timeout"
+	// FeedTornBody truncates fetched research-feed bytes, simulating a
+	// torn transfer the CSV parse must catch (researchfeed).
+	FeedTornBody = "feed.torn-body"
+	// FeedStale forces a not-modified answer from the research feed,
+	// exercising the fingerprint-staleness path (researchfeed).
+	FeedStale = "feed.stale"
 )
 
 // Rule schedules one failure point. The zero value never fires.

@@ -545,6 +545,43 @@ func (a *Artefacts) NewestMTime() (time.Time, error) {
 	return newest, nil
 }
 
+// LatestID reports the id of the youngest live artefact in the namespace
+// (by file modification time, with the lexicographically greater id
+// winning ties so the answer is total), or ErrNotFound when the
+// namespace is empty. StagedSource resolves "the current staged research
+// set" through it.
+func (a *Artefacts) LatestID() (string, error) {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return "", fmt.Errorf("planstore: listing %s: %w", a.dir, err)
+	}
+	var (
+		newest   time.Time
+		newestID string
+	)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		id, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || !validID(id) {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue
+		}
+		mt := info.ModTime()
+		if mt.After(newest) || (mt.Equal(newest) && id > newestID) {
+			newest, newestID = mt, id
+		}
+	}
+	if newestID == "" {
+		return "", fmt.Errorf("planstore: %s namespace is empty: %w", a.kind, ErrNotFound)
+	}
+	return newestID, nil
+}
+
 // Stats returns a snapshot of the cumulative counters.
 func (a *Artefacts) Stats() Stats {
 	a.mu.Lock()

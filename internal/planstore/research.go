@@ -1,0 +1,105 @@
+package planstore
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"time"
+
+	"otfair/internal/dataset"
+	"otfair/internal/obs"
+)
+
+// researchNamespace is the subdirectory of a store root that holds staged
+// research sets — candidate inputs for the drift loop's refits, delivered
+// through POST /v1/research — keeping them out of the plan listing while
+// every tier shares one -store directory.
+const researchNamespace = "research"
+
+// ResearchStore is the staged-research namespace of an artefact store:
+// research tables (dataset.Table) persisted as canonical CSV keyed by
+// content fingerprint, under `research/` of the store root. Staging is
+// content-addressed like every other artefact tier, so re-delivering the
+// same records is an idempotent no-op and a torn upload can never be
+// mistaken for a research set (the fingerprint check quarantines it).
+// All methods are safe for concurrent use.
+type ResearchStore struct {
+	a *Artefacts
+}
+
+// OpenResearch creates (if needed) and opens the research namespace under
+// a store root — typically the same directory the plan Store is rooted
+// at, so one -store flag provisions every tier.
+func OpenResearch(root string, opts Options) (*ResearchStore, error) {
+	a, err := OpenArtefacts(filepath.Join(root, researchNamespace), "research set", func(raw []byte) (any, error) {
+		return dataset.ReadCSV(bytes.NewReader(raw))
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ResearchStore{a: a}, nil
+}
+
+// Dir reports the namespace directory.
+func (rs *ResearchStore) Dir() string { return rs.a.Dir() }
+
+// Put persists a research set as canonical CSV, returning its content
+// fingerprint and whether this call created the entry.
+func (rs *ResearchStore) Put(tbl *dataset.Table) (id string, created bool, err error) {
+	if tbl == nil || tbl.Len() == 0 {
+		return "", false, errors.New("planstore: empty research set")
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		return "", false, err
+	}
+	return rs.a.PutBytes(buf.Bytes(), tbl)
+}
+
+// Get returns the research set with the given fingerprint; the returned
+// table is shared and must be treated read-only.
+func (rs *ResearchStore) Get(id string) (*dataset.Table, error) {
+	v, err := rs.a.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*dataset.Table), nil
+}
+
+// Latest returns the most recently staged research set (newest file
+// modification time, id tie-break) or ErrNotFound when nothing has been
+// staged.
+func (rs *ResearchStore) Latest() (string, *dataset.Table, error) {
+	id, err := rs.a.LatestID()
+	if err != nil {
+		return "", nil, err
+	}
+	tbl, err := rs.Get(id)
+	if err != nil {
+		return "", nil, err
+	}
+	return id, tbl, nil
+}
+
+// Has reports whether the fingerprint exists in memory or on disk.
+func (rs *ResearchStore) Has(id string) bool { return rs.a.Has(id) }
+
+// Delete removes a research set from memory and disk.
+func (rs *ResearchStore) Delete(id string) error { return rs.a.Delete(id) }
+
+// IDs lists every research-set fingerprint persisted on disk.
+func (rs *ResearchStore) IDs() ([]string, error) { return rs.a.IDs() }
+
+// Prune removes every research set older than maxAge; see Artefacts.Prune.
+func (rs *ResearchStore) Prune(maxAge time.Duration) (int, error) { return rs.a.Prune(maxAge) }
+
+// Stats returns a snapshot of the cumulative counters.
+func (rs *ResearchStore) Stats() Stats { return rs.a.Stats() }
+
+// SetReadLatency binds the histogram observing disk-read latencies; see
+// Artefacts.SetReadLatency.
+func (rs *ResearchStore) SetReadLatency(h *obs.Histogram) { rs.a.SetReadLatency(h) }
+
+// NewestMTime reports the youngest staged set's file modification time;
+// see Artefacts.NewestMTime.
+func (rs *ResearchStore) NewestMTime() (time.Time, error) { return rs.a.NewestMTime() }

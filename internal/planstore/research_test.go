@@ -1,0 +1,144 @@
+package planstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"otfair/internal/dataset"
+)
+
+func researchTable(t *testing.T, n, dim int, base float64) *dataset.Table {
+	t.Helper()
+	tbl := dataset.MustTable(dim, nil)
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for k := range x {
+			x[k] = base + float64(i) + float64(k)*0.25
+		}
+		if err := tbl.Append(dataset.Record{U: i % 2, S: (i / 2) % 2, X: x}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	return tbl
+}
+
+func TestResearchStoreRoundTrip(t *testing.T) {
+	rs, err := OpenResearch(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	tbl := researchTable(t, 8, 2, 0)
+	id, created, err := rs.Put(tbl)
+	if err != nil || !created {
+		t.Fatalf("put: id=%s created=%v err=%v", id, created, err)
+	}
+	if !rs.Has(id) {
+		t.Fatalf("Has(%s) = false after put", id)
+	}
+	got, err := rs.Get(id)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got.Len() != 8 || got.Dim() != 2 {
+		t.Fatalf("round-tripped table %dx%d, want 8x2", got.Len(), got.Dim())
+	}
+	// Content addressing: the same records stage to the same id without a
+	// second artefact.
+	id2, created2, err := rs.Put(researchTable(t, 8, 2, 0))
+	if err != nil {
+		t.Fatalf("re-put: %v", err)
+	}
+	if created2 || id2 != id {
+		t.Fatalf("re-put: id=%s created=%v, want existing %s", id2, created2, id)
+	}
+	ids, err := rs.IDs()
+	if err != nil {
+		t.Fatalf("ids: %v", err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("store holds %d artefacts, want 1", len(ids))
+	}
+}
+
+func TestResearchStoreRejectsEmptySet(t *testing.T) {
+	rs, err := OpenResearch(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, err := rs.Put(nil); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if _, _, err := rs.Put(dataset.MustTable(2, nil)); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestResearchStoreLatestFollowsMTime(t *testing.T) {
+	dir := t.TempDir()
+	rs, err := OpenResearch(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, err := rs.Latest(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store Latest err = %v, want ErrNotFound", err)
+	}
+	idA, _, err := rs.Put(researchTable(t, 6, 2, 0))
+	if err != nil {
+		t.Fatalf("put A: %v", err)
+	}
+	idB, _, err := rs.Put(researchTable(t, 6, 2, 100))
+	if err != nil {
+		t.Fatalf("put B: %v", err)
+	}
+	// Pin mtimes so the ordering is explicit, not a race with the
+	// filesystem clock: A is newer than B.
+	now := time.Now()
+	pin := func(id string, mt time.Time) {
+		t.Helper()
+		if err := os.Chtimes(filepath.Join(rs.Dir(), id+".json"), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pin(idA, now)
+	pin(idB, now.Add(-time.Hour))
+	latest, tbl, err := rs.Latest()
+	if err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if latest != idA {
+		t.Fatalf("latest = %s, want newer %s", latest, idA)
+	}
+	if tbl.At(0).X[0] != 0 {
+		t.Fatalf("latest table starts at %v, want set A's 0", tbl.At(0).X[0])
+	}
+	// Staging a replacement set flips Latest to it.
+	pin(idB, now.Add(time.Hour))
+	latest, tbl, err = rs.Latest()
+	if err != nil {
+		t.Fatalf("latest after re-stage: %v", err)
+	}
+	if latest != idB {
+		t.Fatalf("latest = %s, want re-staged %s", latest, idB)
+	}
+	if tbl.At(0).X[0] != 100 {
+		t.Fatalf("latest table starts at %v, want set B's 100", tbl.At(0).X[0])
+	}
+	// Equal mtimes: the lexicographically greater id wins, so the answer
+	// is stable across replicas whose clocks truncate to the same tick.
+	pin(idA, now)
+	pin(idB, now)
+	want := idA
+	if idB > idA {
+		want = idB
+	}
+	latest, _, err = rs.Latest()
+	if err != nil {
+		t.Fatalf("latest with tied mtimes: %v", err)
+	}
+	if latest != want {
+		t.Fatalf("tied mtimes: latest = %s, want lexicographically greater %s", latest, want)
+	}
+}

@@ -53,7 +53,7 @@ type serverObs struct {
 // so request-supplied paths can never mint new series.
 var routes = []string{
 	"healthz", "readyz", "buildinfo", "plans", "plan_get",
-	"calibrations", "calibration_get", "repair", "refs", "metrics", "metrics_prom", "other",
+	"calibrations", "calibration_get", "repair", "research", "refs", "metrics", "metrics_prom", "other",
 }
 
 // routeLabel maps a request to its route label without touching r.Pattern
@@ -73,6 +73,8 @@ func routeLabel(r *http.Request) string {
 		return "calibrations"
 	case "/v1/repair":
 		return "repair"
+	case "/v1/research":
+		return "research"
 	case "/v1/refs":
 		return "refs"
 	case "/v1/metrics":
@@ -144,6 +146,15 @@ func newServerObs(s *Server) *serverObs {
 		"Artefact disk-read latency (memory misses; retries included).", lat, "store", "plan"))
 	s.cals.SetReadLatency(reg.HistogramL("otfair_store_read_seconds",
 		"Artefact disk-read latency (memory misses; retries included).", lat, "store", "calibration"))
+	s.research.SetReadLatency(reg.HistogramL("otfair_store_read_seconds",
+		"Artefact disk-read latency (memory misses; retries included).", lat, "store", "research"))
+
+	// Shared refit budget backlog. Reads the pool at scrape time; the
+	// pool is bound once in NewServer before any scrape can happen, and a
+	// drift-disabled server reports a truthful zero.
+	reg.GaugeFunc("otfair_refit_queue_depth",
+		"Refit jobs waiting in the shared recalibration queue.",
+		func() float64 { return float64(s.refit.depth()) })
 
 	// Func-backed exports of cumulative state owned elsewhere. Reading at
 	// scrape time is what keeps these single-sourced: the JSON endpoint and
@@ -154,6 +165,7 @@ func newServerObs(s *Server) *serverObs {
 	}{
 		{"plan", s.store.Stats},
 		{"calibration", s.cals.Stats},
+		{"research", s.research.Stats},
 	} {
 		st := ns.stats
 		for _, op := range []struct {
@@ -185,6 +197,7 @@ func newServerObs(s *Server) *serverObs {
 	}{
 		{"plan", s.store.NewestMTime},
 		{"calibration", s.cals.NewestMTime},
+		{"research", s.research.NewestMTime},
 	} {
 		newest := ns.newest
 		reg.GaugeFunc("otfair_artefact_age_seconds",

@@ -1,0 +1,79 @@
+package repairsvc
+
+// The shared refit budget: one bounded worker pool and queue across every
+// bound lineage, replacing the old unbounded per-artefact
+// `go s.runDriftLoop(...)`. A deployment serving many drifting plans now
+// refits at a fixed concurrency — each refit is a full core.Design plus
+// two shadow repairs, so N plans alarming together must not mean N
+// simultaneous designs — and an alarm that cannot find queue room lands
+// refit_failed instead of waiting, keeping the watcher state machine
+// moving.
+
+import (
+	"context"
+	"sync"
+)
+
+// refitJob is one claimed recalibration run.
+type refitJob struct {
+	ps    *planState
+	runID string
+}
+
+// refitPool runs refit jobs on a fixed set of workers. Workers receive a
+// context cancelled by close, so a feed retry ladder sleeping inside a
+// job aborts promptly on shutdown.
+type refitPool struct {
+	jobs   chan refitJob
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func newRefitPool(s *Server, workers, depth int) *refitPool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &refitPool{jobs: make(chan refitJob, depth), ctx: ctx, cancel: cancel}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case j := <-p.jobs:
+					s.runDriftLoop(ctx, j.ps, j.runID)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// enqueue offers a job to the shared budget without blocking — the
+// callers are the serve path and the drift timer, and neither may wait
+// on refit capacity. Reports whether the job was admitted.
+func (p *refitPool) enqueue(j refitJob) bool {
+	select {
+	case p.jobs <- j:
+		return true
+	//otfair:nondet-ok bounded-queue admission off the response path; a full queue lands refit_failed, never a served byte
+	default:
+		return false
+	}
+}
+
+// depth reports the jobs waiting in the queue (the
+// otfair_refit_queue_depth gauge; 0 on a nil pool, i.e. drift disabled).
+func (p *refitPool) depth() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.jobs)
+}
+
+// close cancels in-flight jobs and waits for the workers to exit.
+func (p *refitPool) close() {
+	p.cancel()
+	p.wg.Wait()
+}

@@ -1,0 +1,63 @@
+package repairsvc
+
+// POST /v1/research: the staging half of researchfeed.StagedSource. A
+// data owner pushes a candidate research set (text/csv body) into the
+// content-addressed research namespace; the drift loop's staged source
+// then refits from the newest staged set on the next alarm or timer
+// tick. Staging is authenticated — a research set steers every future
+// refit, so accepting one is a control-plane operation, not a data-plane
+// one — and disabled entirely unless a token is configured.
+
+import (
+	"crypto/subtle"
+	"net/http"
+
+	"otfair/internal/dataset"
+	"otfair/internal/researchfeed"
+)
+
+// handleResearchPost stages one research set.
+func (s *Server) handleResearchPost(w http.ResponseWriter, r *http.Request) {
+	if s.opts.ResearchToken == "" {
+		httpError(w, http.StatusForbidden, "research staging is disabled (no -research-token configured)")
+		return
+	}
+	// Constant-time comparison: an equality short-circuit would leak
+	// token-prefix timing to whoever can reach the endpoint.
+	want := "Bearer " + s.opts.ResearchToken
+	got := r.Header.Get("Authorization")
+	if len(got) != len(want) || subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="research staging"`)
+		httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+		return
+	}
+	if ct := mediaType(r); ct != "" && ct != "text/csv" {
+		httpError(w, http.StatusUnsupportedMediaType, "stage research as text/csv, got %q", ct)
+		return
+	}
+	s.limitBody(w, r)
+	tbl, err := dataset.ReadCSV(r.Body)
+	if err != nil {
+		httpError(w, errStatusOr(err, http.StatusBadRequest), "invalid research csv: %v", err)
+		return
+	}
+	// The same floor the drift loop applies on fetch: rejecting at the
+	// door tells the data owner now instead of a refit_failed later.
+	// Dimension is not checked here — the set may target any lineage.
+	if verr := researchfeed.Validate(tbl, s.opts.FeedMinRecords, 0); verr != nil {
+		httpError(w, http.StatusUnprocessableEntity, "research set rejected: %v", verr)
+		return
+	}
+	id, created, err := s.research.Put(tbl)
+	if err != nil {
+		httpError(w, errStatus(err), "storing research set: %v", err)
+		return
+	}
+	code := http.StatusCreated
+	if !created {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, map[string]any{
+		"id": id, "records": tbl.Len(), "dim": tbl.Dim(), "existed": !created,
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"otfair/internal/monitor"
 	"otfair/internal/obs"
 	"otfair/internal/planstore"
+	"otfair/internal/researchfeed"
 	"otfair/internal/rng"
 )
 
@@ -115,6 +116,44 @@ type ServerOptions struct {
 	// alarmed plan with no configured source finishes refit_failed — the
 	// alarm is still exported, there is just nothing to act with.
 	RecalibrateFrom string
+	// RecalibrateURL is an HTTP research feed the loop refits from (ETag
+	// change detection, per-attempt timeouts). Source precedence:
+	// FeedSource, then RecalibrateURL, then RecalibrateFrom, then the
+	// staged namespace when ResearchToken enables it.
+	RecalibrateURL string
+	// ResearchToken, when non-empty, enables the authenticated
+	// POST /v1/research staging endpoint; with no URL or file source
+	// configured, staged sets become the drift loop's refit source.
+	ResearchToken string
+	// FeedSource overrides the refit source entirely (tests, embedders).
+	FeedSource researchfeed.Source
+	// FeedRetry is the seeded backoff retry policy wrapped around every
+	// refit fetch.
+	FeedRetry researchfeed.RetryPolicy
+	// FeedBreaker tunes the feed circuit breaker.
+	FeedBreaker researchfeed.BreakerConfig
+	// FeedAttemptTimeout bounds each HTTP feed attempt when the server
+	// builds the source from RecalibrateURL (default 10s).
+	FeedAttemptTimeout time.Duration
+	// FeedMinRecords is the sanity floor a fetched research set must
+	// clear before it may refit a plan (0 = default 16, negative = no
+	// floor). POST /v1/research enforces the same floor at the door.
+	FeedMinRecords int
+	// DriftCheckEvery, when positive (with DriftWatch armed), runs a
+	// timer-driven drift check over every bound plan so idle-but-drifted
+	// artefacts still recalibrate without waiting for repair traffic
+	// (0 = checks only ride repair requests).
+	DriftCheckEvery time.Duration
+	// RefitWorkers bounds concurrent refits across all lineages
+	// (default 1) — the shared refit budget.
+	RefitWorkers int
+	// RefitQueue bounds refit jobs waiting for a worker (default 4); an
+	// alarm past it lands refit_failed instead of queueing unboundedly.
+	RefitQueue int
+	// Clock injects the wall clock the feed and drift timer use (nil =
+	// system clock). The serve path never reads it — determinism there
+	// is lint-enforced.
+	Clock researchfeed.Clock
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -141,6 +180,18 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.RetryAfterSeconds <= 0 {
 		o.RetryAfterSeconds = 1
+	}
+	if o.FeedMinRecords == 0 {
+		o.FeedMinRecords = 16
+	}
+	if o.RefitWorkers <= 0 {
+		o.RefitWorkers = 1
+	}
+	if o.RefitQueue <= 0 {
+		o.RefitQueue = 4
+	}
+	if o.Clock == nil {
+		o.Clock = researchfeed.SystemClock{}
 	}
 	return o
 }
@@ -210,16 +261,26 @@ func errStatusOr(err error, fallback int) int {
 // graceful shutdown (cmd/fairserved does, calling BeginDrain first so
 // readiness flips before the listener closes).
 type Server struct {
-	store *planstore.Store
-	cals  *planstore.CalibrationStore
-	refs  *planstore.Refs
-	opts  ServerOptions
-	mux   *http.ServeMux
+	store    *planstore.Store
+	cals     *planstore.CalibrationStore
+	refs     *planstore.Refs
+	research *planstore.ResearchStore
+	opts     ServerOptions
+	mux      *http.ServeMux
 
 	gate     admission
 	draining atomic.Bool
 	res      resilienceCounters
 	om       *serverObs
+
+	// Drift machinery (nil / zero unless DriftWatch is armed): the
+	// research feed refits fetch through, the shared refit pool, and the
+	// idle-artefact check timer.
+	feed      *researchfeed.Feed
+	refit     *refitPool
+	timerStop chan struct{}
+	timerWG   sync.WaitGroup
+	closeOnce sync.Once
 
 	mu     sync.Mutex
 	states map[string]*planState
@@ -245,7 +306,14 @@ type planState struct {
 	// guarded by Server.mu.
 	lastUsed uint64
 
-	mu          sync.Mutex
+	mu sync.Mutex
+	// lastResearchFP is the feed content fingerprint the last *completed*
+	// loop run (swap or rollback) was judged on, guarded by mu. A later
+	// alarm whose fetch returns the same fingerprint finishes
+	// refit_skipped_stale: rerunning the design would reproduce the same
+	// candidate and the same verdict. Transient failures do not record
+	// it, so a refit_failed alarm retries on the next check.
+	lastResearchFP string
 	mon         *monitor.Monitor
 	alarms      []monitor.Alarm // ring of the most recent MaxAlarms
 	alarmsTotal int64
@@ -321,18 +389,43 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	research, err := planstore.OpenResearch(store.Dir(), planstore.Options{CacheSize: opts.CalibrationCacheSize, Fault: opts.Fault, Logger: opts.Logger})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		store:  store,
-		cals:   cals,
-		refs:   refs,
-		opts:   opts.withDefaults(),
-		mux:    http.NewServeMux(),
-		states: make(map[string]*planState),
+		store:    store,
+		cals:     cals,
+		refs:     refs,
+		research: research,
+		opts:     opts.withDefaults(),
+		mux:      http.NewServeMux(),
+		states:   make(map[string]*planState),
 	}
 	s.gate = admission{maxInflight: s.opts.MaxInflight, maxBytes: s.opts.MaxQueuedBytes}
 	// Bind the observability assembly after the stores exist (it hooks
 	// their read latencies) and before any route can run.
 	s.om = newServerObs(s)
+	// Drift machinery, only when the watcher is armed: a plain serving
+	// deployment runs zero background goroutines, same as before.
+	if s.opts.DriftWatch != nil {
+		if src := s.feedSource(); src != nil {
+			s.feed = researchfeed.New(src, researchfeed.Config{
+				Retry:    s.opts.FeedRetry,
+				Breaker:  s.opts.FeedBreaker,
+				Clock:    s.opts.Clock,
+				Fault:    s.opts.Fault,
+				Registry: s.om.reg,
+				Logger:   s.opts.Logger,
+			})
+		}
+		s.refit = newRefitPool(s, s.opts.RefitWorkers, s.opts.RefitQueue)
+		if s.opts.DriftCheckEvery > 0 {
+			s.timerStop = make(chan struct{})
+			s.timerWG.Add(1)
+			go s.runDriftTimer()
+		}
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/buildinfo", s.handleBuildInfo)
@@ -343,10 +436,46 @@ func NewServer(store *planstore.Store, opts ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/calibrations", s.handleCalibrationsList)
 	s.mux.HandleFunc("GET /v1/calibrations/{id}", s.handleCalibrationGet)
 	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	s.mux.HandleFunc("POST /v1/research", s.handleResearchPost)
 	s.mux.HandleFunc("GET /v1/refs", s.handleRefsList)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	return s, nil
+}
+
+// feedSource picks the drift loop's research source: an explicit
+// FeedSource wins, then the HTTP URL, then the local file, then the
+// staged namespace when the staging endpoint is enabled. Nil when no
+// source is configured — the loop then finishes alarms refit_failed.
+func (s *Server) feedSource() researchfeed.Source {
+	switch {
+	case s.opts.FeedSource != nil:
+		return s.opts.FeedSource
+	case s.opts.RecalibrateURL != "":
+		return &researchfeed.HTTPSource{URL: s.opts.RecalibrateURL, AttemptTimeout: s.opts.FeedAttemptTimeout}
+	case s.opts.RecalibrateFrom != "":
+		return &researchfeed.FileSource{Path: s.opts.RecalibrateFrom}
+	case s.opts.ResearchToken != "":
+		return &researchfeed.StagedSource{Store: s.research}
+	}
+	return nil
+}
+
+// Close stops the server's background drift machinery — the check timer
+// and the refit worker pool, cancelling any in-flight refit's fetch or
+// backoff sleep — and waits for it to exit. It does not touch in-flight
+// HTTP requests (that is BeginDrain + http.Server.Shutdown's job) and is
+// a no-op on a server without DriftWatch. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.timerStop != nil {
+			close(s.timerStop)
+		}
+		s.timerWG.Wait()
+		if s.refit != nil {
+			s.refit.close()
+		}
+	})
 }
 
 // Refs exposes the lineage → active fingerprint namespace the drift loop

@@ -1,0 +1,124 @@
+package researchfeed
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states. The numeric values are the wire contract of the
+// otfair_feed_breaker_state gauge.
+const (
+	// BreakerClosed: fetches flow; consecutive failures are counted.
+	BreakerClosed int64 = 0
+	// BreakerOpen: fetches fast-fail with ErrBreakerOpen until OpenFor
+	// elapses.
+	BreakerOpen int64 = 1
+	// BreakerHalfOpen: exactly one probe fetch is in flight; its result
+	// closes or re-opens the breaker.
+	BreakerHalfOpen int64 = 2
+)
+
+// BreakerConfig tunes the feed circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failed Fetch cycles (each cycle
+	// already retried per the RetryPolicy) open the breaker (default 3).
+	Threshold int
+	// OpenFor is how long an open breaker refuses fetches before letting
+	// one half-open probe through (default 30s).
+	OpenFor time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 30 * time.Second
+	}
+	return c
+}
+
+// Breaker is a closed/open/half-open circuit breaker over whole fetch
+// cycles: a down feed costs one fast ErrBreakerOpen per drift alarm
+// instead of a full retry ladder, and recovery is probed by a single
+// fetch rather than a thundering herd. Safe for concurrent use; State is
+// lock-free so metric scrapes never contend with the fetch path.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock Clock
+
+	state atomic.Int64
+
+	mu       sync.Mutex
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a closed breaker on the given clock (nil = system).
+func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
+	if clock == nil {
+		clock = SystemClock{}
+	}
+	return &Breaker{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// State reports the current position (BreakerClosed/Open/HalfOpen).
+func (b *Breaker) State() int64 { return b.state.Load() }
+
+// Allow reports whether a fetch cycle may start. An open breaker past its
+// OpenFor window admits exactly one caller as the half-open probe; every
+// other caller is refused until that probe settles via Success or
+// Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+			b.state.Store(BreakerHalfOpen)
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful fetch cycle: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.state.Store(BreakerClosed)
+}
+
+// Failure records a failed fetch cycle: a half-open probe re-opens the
+// breaker immediately, a closed breaker opens once the streak reaches
+// Threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.openedAt = b.clock.Now()
+		b.state.Store(BreakerOpen)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.openedAt = b.clock.Now()
+			b.state.Store(BreakerOpen)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package researchfeed
+
+import (
+	"context"
+	"time"
+)
+
+// Clock is the feed layer's only time source. repairsvc is a
+// determinism-critical package (nondetsource), so every wall-clock read,
+// timer and sleep the retry/breaker/drift-timer machinery needs lives
+// behind this interface: production wires SystemClock, tests wire a fake
+// and get exact, schedulable time without real sleeps.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time after d elapses,
+	// like time.After.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() when
+	// the context won the race.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// SystemClock is the production Clock: real time, real timers.
+type SystemClock struct{}
+
+// Now returns time.Now().
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// After returns time.After(d).
+func (SystemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep waits for d with a stoppable timer so an aborted retry loop does
+// not leave a pending timer behind.
+func (SystemClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,163 @@
+package researchfeed
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"otfair/internal/planstore"
+)
+
+// ErrNotModified is returned by sources with change detection (HTTP ETag)
+// when the upstream content has not changed since the last successful
+// fetch. The Feed maps it to its cached snapshot, so downstream staleness
+// gating still sees a fingerprint to compare.
+var ErrNotModified = errors.New("researchfeed: source content not modified")
+
+// Source is one place fresh research data can come from. Fetch returns
+// the current candidate research set as raw CSV bytes; parsing,
+// fingerprinting, retries, breaking and metrics are the Feed's job, so a
+// Source stays a dumb transport.
+type Source interface {
+	// Kind is a short fixed label naming the source flavour ("file",
+	// "http", "staged") for logs and errors.
+	Kind() string
+	// Fetch retrieves the current research set. Implementations may
+	// return ErrNotModified when they can prove the content is unchanged.
+	Fetch(ctx context.Context) ([]byte, error)
+}
+
+// FileSource reads the research set from a local CSV path — today's
+// -recalibrate-from deployment shape.
+type FileSource struct {
+	// Path is the CSV file to read on every fetch.
+	Path string
+}
+
+// Kind reports "file".
+func (s *FileSource) Kind() string { return "file" }
+
+// Fetch reads the whole file.
+func (s *FileSource) Fetch(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(s.Path)
+	if err != nil {
+		return nil, fmt.Errorf("researchfeed: reading %s: %w", s.Path, err)
+	}
+	return raw, nil
+}
+
+// HTTPSource pulls the research set from an HTTP(S) endpoint with ETag
+// change detection (If-None-Match on every request after the first
+// tagged response) and a per-attempt timeout, so one hung upstream
+// attempt can never pin a refit worker past its budget.
+type HTTPSource struct {
+	// URL is the research CSV endpoint.
+	URL string
+	// Client is the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// AttemptTimeout bounds each individual fetch attempt (default 10s).
+	AttemptTimeout time.Duration
+	// MaxBytes caps the response body (default 64 MiB): research sets
+	// are small, a misconfigured URL must not buffer an archive.
+	MaxBytes int64
+
+	mu   sync.Mutex
+	etag string
+}
+
+// Kind reports "http".
+func (s *HTTPSource) Kind() string { return "http" }
+
+// Fetch GETs the URL, honouring 304 Not Modified against the last seen
+// ETag.
+func (s *HTTPSource) Fetch(ctx context.Context) ([]byte, error) {
+	timeout := s.AttemptTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.URL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("researchfeed: building request for %s: %w", s.URL, err)
+	}
+	s.mu.Lock()
+	if s.etag != "" {
+		req.Header.Set("If-None-Match", s.etag)
+	}
+	s.mu.Unlock()
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("researchfeed: fetching %s: %w", s.URL, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		return nil, ErrNotModified
+	case resp.StatusCode != http.StatusOK:
+		return nil, fmt.Errorf("researchfeed: %s answered %s", s.URL, resp.Status)
+	}
+	max := s.MaxBytes
+	if max <= 0 {
+		max = 64 << 20
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, max+1))
+	if err != nil {
+		return nil, fmt.Errorf("researchfeed: reading %s body: %w", s.URL, err)
+	}
+	if int64(len(raw)) > max {
+		return nil, fmt.Errorf("researchfeed: %s body exceeds the %d byte cap", s.URL, max)
+	}
+	if et := resp.Header.Get("Etag"); et != "" {
+		s.mu.Lock()
+		s.etag = et
+		s.mu.Unlock()
+	}
+	return raw, nil
+}
+
+// StagedSource serves the newest research set staged into the
+// content-addressed store via POST /v1/research: the push-model
+// counterpart of HTTPSource for deployments where the data owner
+// delivers rather than hosts.
+type StagedSource struct {
+	// Store is the research namespace staged sets land in.
+	Store *planstore.ResearchStore
+}
+
+// Kind reports "staged".
+func (s *StagedSource) Kind() string { return "staged" }
+
+// Fetch re-serializes the newest staged set to canonical CSV bytes. The
+// store persists canonical bytes, so the Feed's content fingerprint
+// matches the staged artefact's id.
+func (s *StagedSource) Fetch(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, tbl, err := s.Store.Latest()
+	if err != nil {
+		if errors.Is(err, planstore.ErrNotFound) {
+			return nil, fmt.Errorf("researchfeed: no research set staged yet: %w", err)
+		}
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		return nil, fmt.Errorf("researchfeed: serializing staged research set: %w", err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,64 @@
+package researchfeed
+
+import (
+	"fmt"
+
+	"otfair/internal/dataset"
+)
+
+// Validation reasons. A fetched research set can be degenerate or biased
+// (an empty export, a truncated transfer that still parsed, a schema
+// change upstream); the drift loop must refuse to refit on it with a
+// precise reason rather than surface a generic design error.
+const (
+	// ReasonEmptyTable: the feed delivered no records at all.
+	ReasonEmptyTable = "empty_table"
+	// ReasonTooFewRecords: fewer records than the configured floor — not
+	// enough evidence to re-estimate the group geometry.
+	ReasonTooFewRecords = "too_few_records"
+	// ReasonDimensionMismatch: the feature dimension differs from the
+	// incumbent plan's; a refit would change the experiment, not track
+	// the population.
+	ReasonDimensionMismatch = "dimension_mismatch"
+)
+
+// ValidationError is the typed refusal Validate returns, carrying the
+// reason and the numbers behind it so a refit_failed log line says
+// exactly what was wrong with the feed.
+type ValidationError struct {
+	// Reason is one of the Reason constants.
+	Reason string
+	// Records and MinRecords are set for too_few_records.
+	Records, MinRecords int
+	// Dim and WantDim are set for dimension_mismatch.
+	Dim, WantDim int
+}
+
+func (e *ValidationError) Error() string {
+	switch e.Reason {
+	case ReasonTooFewRecords:
+		return fmt.Sprintf("researchfeed: research set has %d records, need at least %d", e.Records, e.MinRecords)
+	case ReasonDimensionMismatch:
+		return fmt.Sprintf("researchfeed: research set dimension %d does not match the incumbent plan's %d", e.Dim, e.WantDim)
+	default:
+		return "researchfeed: research set is empty"
+	}
+}
+
+// Validate gates a fetched research table before it may refit a plan:
+// non-empty, at least minRecords records (<= 0 disables the floor), and
+// feature dimension wantDim (0 disables the dimension check, for callers
+// with no incumbent to compare against). Returns a *ValidationError on
+// refusal, nil when the set may proceed to core.Design.
+func Validate(tbl *dataset.Table, minRecords, wantDim int) error {
+	if tbl == nil || tbl.Len() == 0 {
+		return &ValidationError{Reason: ReasonEmptyTable, MinRecords: minRecords}
+	}
+	if minRecords > 0 && tbl.Len() < minRecords {
+		return &ValidationError{Reason: ReasonTooFewRecords, Records: tbl.Len(), MinRecords: minRecords}
+	}
+	if wantDim > 0 && tbl.Dim() != wantDim {
+		return &ValidationError{Reason: ReasonDimensionMismatch, Dim: tbl.Dim(), WantDim: wantDim}
+	}
+	return nil
+}
